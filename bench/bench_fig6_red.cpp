@@ -1,0 +1,121 @@
+// Figure 6 — TCP sequence-number dynamics under RED gateways during heavy
+// congestion: (a) New-Reno, (b) SACK, (c) Robust Recovery.
+//
+// Setup per Section 3.3 / Table 4: RED gateway with buffer 25, min_th 5,
+// max_th 20, max_p 0.02, w_q 0.002; 10 flows over the 0.8 Mbps bottleneck;
+// the first five start at t=0 and one more every 0.5 s until t=2.5 s; all
+// flows are infinite FTP; 6 s simulated. All flows use the same variant;
+// flow 1's sequence plot is reported, plus the per-variant effective
+// throughput of flow 1 over the run.
+//
+// Expected shape (paper): the New-Reno plot stalls (flat segments ending
+// in a coarse timeout) while SACK and RR keep advancing; RR ends with the
+// highest sequence number, slightly above SACK.
+#include "bench_common.hpp"
+
+namespace rrtcp::bench {
+namespace {
+
+struct RunOut {
+  std::vector<std::pair<double, std::uint64_t>> series;  // (t, acked pkts)
+  double kbps;
+  std::uint64_t timeouts;
+  std::uint64_t rtx;
+  std::uint64_t red_early, red_forced;
+};
+
+RunOut run_variant(app::Variant v) {
+  sim::Simulator sim;
+  net::DumbbellConfig netcfg;
+  netcfg.n_flows = 10;
+  net::RedQueue* red = nullptr;
+  netcfg.make_bottleneck_queue = [&sim, &red] {
+    net::RedConfig rc;  // Table 4 values are the defaults
+    rc.mean_pkt_tx = sim::Time::transmission(1000, 800'000);
+    rc.seed = 42;
+    auto q = std::make_unique<net::RedQueue>(sim, rc);
+    red = q.get();
+    return q;
+  };
+  net::DumbbellTopology topo{sim, netcfg};
+
+  // ns-2-style window bound: the paper's plots show cwnd topping out near
+  // 16, consistent with the classic ns-2 script default of window_ = 20
+  // (which also bounds the initial ssthresh). Without it, slow-start
+  // overshoot to 60+ packet windows drives the RED gateway into forced-
+  // drop storms no 2001-era run exhibited.
+  tcp::TcpConfig tcfg;
+  tcfg.max_window_pkts = 20;
+  tcfg.init_ssthresh_pkts = 20;
+
+  std::vector<InstrumentedFlow> flows;
+  for (int i = 0; i < 10; ++i) {
+    // Flows 1-5 start at 0; flows 6-10 at 0.5 s intervals up to 2.5 s.
+    const sim::Time start =
+        i < 5 ? sim::Time::zero() : sim::Time::milliseconds(500) * (i - 4);
+    flows.push_back(make_instrumented_flow(v, sim, topo, i, start,
+                                           std::nullopt, tcfg));
+  }
+  const sim::Time horizon = sim::Time::seconds(6);
+  sim.run_until(horizon);
+
+  RunOut out;
+  out.series = flows[0].seq->ack_series(sim::Time::milliseconds(250), horizon);
+  out.kbps = flows[0].meter->throughput_bps(sim::Time::zero(), horizon) / 1e3;
+  out.timeouts = flows[0].flow.sender->stats().timeouts;
+  out.rtx = flows[0].flow.sender->stats().retransmissions;
+  out.red_early = red->early_drops();
+  out.red_forced = red->forced_drops();
+  return out;
+}
+
+}  // namespace
+}  // namespace rrtcp::bench
+
+int main() {
+  using namespace rrtcp::bench;
+  using rrtcp::app::Variant;
+  print_header("Figure 6 — sequence-number dynamics under RED gateways",
+               "Wang & Shin 2001, Fig. 6(a) New-Reno, (b) SACK, (c) RR");
+
+  const Variant panel[] = {Variant::kNewReno, Variant::kSack, Variant::kRr,
+                           Variant::kTahoe};
+  std::vector<RunOut> outs;
+  for (Variant v : panel) outs.push_back(run_variant(v));
+
+  // Sequence plots, gnuplot-ready: one x column, one y column per variant.
+  std::vector<std::vector<double>> cols;
+  std::vector<std::string> names{"time_s"};
+  cols.emplace_back();
+  for (const auto& [t, s] : outs[0].series) cols.back().push_back(t);
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    names.push_back(rrtcp::app::to_string(panel[i]));
+    cols.emplace_back();
+    for (const auto& [t, s] : outs[i].series)
+      cols.back().push_back(static_cast<double>(s));
+  }
+  rrtcp::stats::print_series("flow 1 cumulative ACK (packets) vs time",
+                             names, cols);
+
+  rrtcp::stats::Table table{{"variant", "flow-1 eff. throughput (kbit/s)",
+                             "flow-1 timeouts", "flow-1 rtx",
+                             "RED early drops", "RED forced drops"}};
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    const auto& o = outs[i];
+    table.add_row({rrtcp::app::to_string(panel[i]),
+                   rrtcp::stats::Table::cell("%.1f", o.kbps),
+                   rrtcp::stats::Table::cell("%llu", (unsigned long long)o.timeouts),
+                   rrtcp::stats::Table::cell("%llu", (unsigned long long)o.rtx),
+                   rrtcp::stats::Table::cell("%llu", (unsigned long long)o.red_early),
+                   rrtcp::stats::Table::cell("%llu", (unsigned long long)o.red_forced)});
+  }
+  table.print();
+  std::printf(
+      "\nshape check: RR's flow-1 effective throughput exceeds New-Reno's\n"
+      "and Tahoe's without any timeout. Note: our SACK baseline implements\n"
+      "the RFC 3517 pipe algorithm (multiple hole repairs per RTT), which\n"
+      "is stronger than the 2001-era sack1 the paper compared against —\n"
+      "it tops this chart; the paper's RR >= SACK held against sack1.\n"
+      "See EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 7 — fitness of RR (vs SACK) to the square-root model of Mathis
+// et al.: steady-state window BW*RTT/MSS against uniform random loss rate
+// p, compared with the model bound C/sqrt(p).
+//
+// Setup per Section 4: same dumbbell, one flow, 100 s simulation with the
+// start-up phase ignored, artificial uniform losses injected at R1,
+// MSS = 1000 B, RTT = 200 ms, an ACK per data packet. The paper states
+// "C is set to 4"; the Mathis constant for per-packet ACKs is
+// sqrt(3/2) ~ 1.22, and the paper's plotted bound (max ~15 at p = 0.01)
+// is only consistent with the latter, so we print the sqrt(3/2) bound and
+// note the discrepancy in EXPERIMENTS.md.
+//
+// Expected shape (paper): both RR and SACK track the bound from below,
+// with RR at least as close as SACK; both fall away at high p where small
+// windows force retransmission timeouts.
+#include "bench_common.hpp"
+#include "model/mathis.hpp"
+#include "model/padhye.hpp"
+
+namespace rrtcp::bench {
+namespace {
+
+struct Sample {
+  double window_pkts;
+  std::uint64_t timeouts;
+};
+
+Sample run_one(app::Variant v, double p, std::uint64_t seed) {
+  sim::Simulator sim;
+  net::DumbbellConfig netcfg;
+  netcfg.n_flows = 1;
+  netcfg.side_delay = sim::Time::zero();  // RTT = 2 * 100 ms + tx
+  netcfg.make_bottleneck_queue = [] {
+    // Deep buffer so that *only* the artificial uniform losses matter
+    // (the paper's "random packet-loss rate" is the controlled variable).
+    return std::make_unique<net::DropTailQueue>(200);
+  };
+  net::DumbbellTopology topo{sim, netcfg};
+  topo.bottleneck().set_loss_model(
+      std::make_unique<net::UniformLossModel>(p, seed));
+
+  auto f = make_instrumented_flow(v, sim, topo, 0, sim::Time::zero(),
+                                  std::nullopt);
+  const sim::Time warmup = sim::Time::seconds(10);  // start-up ignored
+  const sim::Time horizon = sim::Time::seconds(110);
+  sim.run_until(horizon);
+
+  const double bw_bps = f.meter->throughput_bps(warmup, horizon);
+  Sample s;
+  s.window_pkts = bw_bps * 0.2 / (1000.0 * 8.0);  // BW*RTT/MSS
+  s.timeouts = f.flow.sender->stats().timeouts;
+  return s;
+}
+
+}  // namespace
+}  // namespace rrtcp::bench
+
+int main() {
+  using namespace rrtcp::bench;
+  using rrtcp::app::Variant;
+  print_header("Figure 7 — fitness to the square-root model",
+               "Wang & Shin 2001, Fig. 7 (window vs loss rate, RR vs SACK)");
+
+  const double rates[] = {0.001, 0.002, 0.005, 0.01, 0.02,
+                          0.03,  0.05,  0.07,  0.1};
+  const int kSeeds = 3;  // averaged; the paper plots single runs
+
+  // The paper's Section 4 closes by noting the Padhye et al. model, which
+  // includes timeout effects, predicts the high-loss regime better: we
+  // print it as a second reference curve.
+  rrtcp::model::PadhyeParams pftk;
+  pftk.rtt_s = 0.2;
+  pftk.t0_s = 1.0;
+
+  std::vector<double> xs, bound, pftk_w, rr_w, sack_w;
+  rrtcp::stats::Table table{{"loss rate p", "Mathis C/sqrt(p)",
+                             "Padhye (w/ timeouts)", "RR window",
+                             "SACK window", "RR timeouts", "SACK timeouts"}};
+  for (double p : rates) {
+    double rr_sum = 0, sack_sum = 0;
+    std::uint64_t rr_to = 0, sack_to = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      auto a = run_one(Variant::kRr, p, 100 + s);
+      auto b = run_one(Variant::kSack, p, 100 + s);
+      rr_sum += a.window_pkts;
+      sack_sum += b.window_pkts;
+      rr_to += a.timeouts;
+      sack_to += b.timeouts;
+    }
+    const double model = rrtcp::model::window_packets(p);
+    const double padhye = rrtcp::model::padhye_window_packets(p, pftk);
+    xs.push_back(p);
+    bound.push_back(model);
+    pftk_w.push_back(padhye);
+    rr_w.push_back(rr_sum / kSeeds);
+    sack_w.push_back(sack_sum / kSeeds);
+    table.add_row({rrtcp::stats::Table::cell("%.3f", p),
+                   rrtcp::stats::Table::cell("%.2f", model),
+                   rrtcp::stats::Table::cell("%.2f", padhye),
+                   rrtcp::stats::Table::cell("%.2f", rr_w.back()),
+                   rrtcp::stats::Table::cell("%.2f", sack_w.back()),
+                   rrtcp::stats::Table::cell("%.1f", rr_to / double(kSeeds)),
+                   rrtcp::stats::Table::cell("%.1f", sack_to / double(kSeeds))});
+  }
+  table.print();
+  rrtcp::stats::print_series(
+      "window (BW*RTT/MSS, packets) vs loss rate; C = sqrt(3/2)",
+      {"p", "mathis_bound", "padhye", "rr", "sack"},
+      {xs, bound, pftk_w, rr_w, sack_w});
+  std::printf(
+      "\nshape check: both variants sit at or below the bound, flattened\n"
+      "at low p by the 0.8 Mbps link capacity (window <= ~20 packets) and\n"
+      "dropping away at high p as timeouts take over; RR tracks the bound\n"
+      "at least as closely as SACK.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Microbenchmarks of the simulator substrate (google-benchmark): event
+// scheduling, queue disciplines, RNG, and whole-stack simulation rate.
+// These quantify the cost of the infrastructure the experiments run on —
+// useful when scaling to many flows or long horizons.
+#include <benchmark/benchmark.h>
+
+#include "app/flow_factory.hpp"
+#include "app/ftp.hpp"
+#include "net/drop_tail.hpp"
+#include "net/dumbbell.hpp"
+#include "net/red.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace rrtcp;
+
+void BM_SchedulerScheduleAndRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < n; ++i)
+      sim.schedule_at(sim::Time::microseconds(i % 997), [] {});
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_SchedulerCancelHalf(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(n);
+    for (int i = 0; i < n; ++i)
+      handles.push_back(sim.schedule_at(sim::Time::microseconds(i), [] {}));
+    for (int i = 0; i < n; i += 2) handles[i].cancel();
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerCancelHalf)->Arg(10000);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::Rng rng{7};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform01());
+}
+BENCHMARK(BM_RngUniform);
+
+net::Packet bench_packet(std::uint64_t seq) {
+  net::Packet p;
+  p.flow = 1;
+  p.type = net::PacketType::kData;
+  p.size_bytes = 1000;
+  p.tcp.seq = seq;
+  p.tcp.payload = 1000;
+  return p;
+}
+
+void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+  net::DropTailQueue q{64};
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    q.enqueue(bench_packet(seq++));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+void BM_RedEnqueueDequeue(benchmark::State& state) {
+  sim::Simulator sim;
+  net::RedConfig rc;
+  net::RedQueue q{sim, rc};
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    q.enqueue(bench_packet(seq++));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RedEnqueueDequeue);
+
+// Whole-stack rate: one RR flow saturating the paper's dumbbell. Reported
+// items = simulated packet deliveries per wall second.
+void BM_EndToEndSimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::DumbbellConfig netcfg;
+    netcfg.n_flows = 1;
+    net::DumbbellTopology topo{sim, netcfg};
+    auto flow = app::make_flow(app::Variant::kRr, sim, topo.sender_node(0),
+                               topo.receiver_node(0), 1);
+    app::FtpSource src{sim, *flow.sender, sim::Time::zero(), std::nullopt};
+    sim.run_until(sim::Time::seconds(20));
+    benchmark::DoNotOptimize(flow.receiver->bytes_in_order());
+    state.SetItemsProcessed(state.items_processed() +
+                            topo.bottleneck().packets_delivered());
+  }
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_TenFlowRedSimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::DumbbellConfig netcfg;
+    netcfg.n_flows = 10;
+    netcfg.make_bottleneck_queue = [&sim] {
+      net::RedConfig rc;
+      rc.mean_pkt_tx = sim::Time::transmission(1000, 800'000);
+      return std::make_unique<net::RedQueue>(sim, rc);
+    };
+    net::DumbbellTopology topo{sim, netcfg};
+    std::vector<app::Flow> flows;
+    std::vector<std::unique_ptr<app::FtpSource>> srcs;
+    for (int i = 0; i < 10; ++i) {
+      flows.push_back(app::make_flow(app::Variant::kRr, sim,
+                                     topo.sender_node(i),
+                                     topo.receiver_node(i), i + 1));
+      srcs.push_back(std::make_unique<app::FtpSource>(
+          sim, *flows.back().sender, sim::Time::zero(), std::nullopt));
+    }
+    sim.run_until(sim::Time::seconds(6));
+    benchmark::DoNotOptimize(topo.bottleneck().packets_delivered());
+  }
+}
+BENCHMARK(BM_TenFlowRedSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

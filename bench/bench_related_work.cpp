@@ -1,0 +1,101 @@
+// Related-work comparison (extends the paper's Section 1 discussion with
+// measurements): RR against right-edge recovery and the Lin-Kung scheme,
+// plus the paper's baselines, on
+//   (a) the burst-loss recovery scenarios of Figure 5, and
+//   (b) a pure-reordering path, where dup ACKs are false alarms — the
+//       case Lin-Kung optimizes for and aggressive recovery schemes pay
+//       for.
+#include "bench_common.hpp"
+
+namespace rrtcp::bench {
+namespace {
+
+constexpr app::Variant kSet[] = {app::Variant::kNewReno,
+                                 app::Variant::kRightEdge,
+                                 app::Variant::kLinKung, app::Variant::kSack,
+                                 app::Variant::kRr};
+
+void burst_table(int burst) {
+  std::printf("\n--- %d-packet burst in one window ---\n", burst);
+  stats::Table table{{"scheme", "completion (s)", "rtx", "timeouts"}};
+  for (app::Variant v : kSet) {
+    sim::Simulator sim;
+    net::DumbbellConfig netcfg;
+    netcfg.n_flows = 1;
+    netcfg.make_bottleneck_queue = [] {
+      return std::make_unique<net::DropTailQueue>(100);
+    };
+    net::DumbbellTopology topo{sim, netcfg};
+    std::vector<std::pair<net::FlowId, std::uint64_t>> losses;
+    for (int i = 0; i < burst; ++i)
+      losses.push_back({1, static_cast<std::uint64_t>(30 + i) * 1000});
+    topo.bottleneck().set_loss_model(
+        std::make_unique<net::ListLossModel>(losses));
+    tcp::TcpConfig tcfg;
+    tcfg.init_ssthresh_pkts = 10;
+    auto f = make_instrumented_flow(v, sim, topo, 0, sim::Time::zero(),
+                                    100'000, tcfg);
+    sim.run_until(sim::Time::seconds(60));
+    table.add_row(
+        {app::to_string(v),
+         stats::Table::cell("%.3f",
+                            f.flow.sender->completion_time().to_seconds()),
+         stats::Table::cell("%llu", (unsigned long long)
+                                        f.flow.sender->stats().retransmissions),
+         stats::Table::cell("%llu",
+                            (unsigned long long)f.flow.sender->stats().timeouts)});
+  }
+  table.print();
+}
+
+void reordering_table() {
+  std::printf("\n--- no loss, 5%% of data packets delayed by 1.5 RTT ---\n");
+  stats::Table table{{"scheme", "completion (s)", "spurious rtx",
+                      "fast rtx episodes"}};
+  for (app::Variant v : kSet) {
+    sim::Simulator sim;
+    net::DumbbellConfig netcfg;
+    netcfg.n_flows = 1;
+    netcfg.make_bottleneck_queue = [] {
+      return std::make_unique<net::DropTailQueue>(100);
+    };
+    net::DumbbellTopology topo{sim, netcfg};
+    topo.bottleneck().set_reorder_model(std::make_unique<net::ReorderModel>(
+        0.05, sim::Time::milliseconds(300), 11));
+    tcp::TcpConfig tcfg;
+    tcfg.init_ssthresh_pkts = 10;
+    auto f = make_instrumented_flow(v, sim, topo, 0, sim::Time::zero(),
+                                    200'000, tcfg);
+    sim.run_until(sim::Time::seconds(120));
+    table.add_row(
+        {app::to_string(v),
+         stats::Table::cell("%.3f",
+                            f.flow.sender->completion_time().to_seconds()),
+         stats::Table::cell("%llu", (unsigned long long)
+                                        f.flow.receiver->stats().duplicates),
+         stats::Table::cell("%llu", (unsigned long long)f.flow.sender->stats()
+                                        .fast_retransmits)});
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace rrtcp::bench
+
+int main() {
+  using namespace rrtcp::bench;
+  print_header("Related-work comparison — RR vs right-edge and Lin-Kung",
+               "extends paper Section 1 (Balakrishnan et al.; Lin & Kung)");
+  burst_table(3);
+  burst_table(6);
+  reordering_table();
+  std::printf(
+      "\nreading: on bursts, right-edge/Lin-Kung track New-Reno (their\n"
+      "one-hole-per-RTT ceiling) while SACK repairs several holes per\n"
+      "RTT. Under pure reordering every scheme takes spurious fast\n"
+      "retransmits; RR completes fastest (fewest multiplicative\n"
+      "back-offs) but pays the most duplicate retransmissions — its\n"
+      "partial-ACK boundaries misread late packets as holes, a real\n"
+      "sensitivity of the algorithm worth knowing about.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Table 5 — fairness/interoperability of RR with TCP Reno.
+//
+// Setup per Section 5: drop-tail dumbbell with a 25-packet buffer, 0.8
+// Mbps bottleneck shared by 20 connections. Nineteen background flows
+// with infinite data start staggered 0.5 s apart (first at t=0); the
+// targeted connection transfers 100 KB from S20 to K20 starting at 4.8 s.
+// Four cases by (target, background) TCP implementation; the measured
+// quantities are the targeted flow's transfer delay and packet-loss rate.
+//
+// Expected shape (paper): a Reno target does NOT get hurt when the
+// background switches from Reno to RR (Case 2 <= Case 1 in delay/loss —
+// RR reduces global synchronization); an RR target among Reno background
+// (Case 4) finishes faster with less loss, by using bandwidth Reno leaves
+// idle rather than by stealing.
+#include "bench_common.hpp"
+
+namespace rrtcp::bench {
+namespace {
+
+struct CaseResult {
+  double delay_s;
+  double loss_rate;
+  bool complete;
+};
+
+CaseResult run_case_once(app::Variant target, app::Variant background,
+                         sim::Time target_start) {
+  sim::Simulator sim;
+  net::DumbbellConfig netcfg;
+  netcfg.n_flows = 20;
+  netcfg.make_bottleneck_queue = [] {
+    return std::make_unique<net::DropTailQueue>(25);
+  };
+  net::DumbbellTopology topo{sim, netcfg};
+
+  // Per-flow drop accounting at the shared bottleneck.
+  std::uint64_t target_drops = 0;
+  const net::FlowId target_flow = 20;
+  topo.bottleneck().queue().set_drop_callback(
+      [&](const net::Packet& p) {
+        if (p.flow == target_flow) ++target_drops;
+      });
+
+  std::vector<InstrumentedFlow> flows;
+  for (int i = 0; i < 19; ++i) {
+    flows.push_back(make_instrumented_flow(
+        background, sim, topo, i, sim::Time::milliseconds(500) * i,
+        std::nullopt));
+  }
+  flows.push_back(make_instrumented_flow(
+      target, sim, topo, 19, target_start, 100'000));
+  auto& tf = flows.back();
+
+  sim.run_until(sim::Time::seconds(200));
+
+  CaseResult r{};
+  r.complete = tf.flow.sender->complete();
+  r.delay_s = r.complete ? tf.flow.sender->completion_time().to_seconds() -
+                               target_start.to_seconds()
+                         : -1.0;
+  const auto& st = tf.flow.sender->stats();
+  const double offered =
+      static_cast<double>(st.data_packets_sent + st.retransmissions);
+  r.loss_rate = offered > 0 ? target_drops / offered : 0.0;
+  return r;
+}
+
+// The 20-flow drop-tail system is chaotic: a single run's transfer delay
+// swings by 3x with a 200 ms shift of the target's start. The paper
+// reports one run; we average over six staggered starts around the
+// paper's 4.8 s so the table reflects the systematic effect, not the
+// draw (EXPERIMENTS.md discusses the spread).
+CaseResult run_case(app::Variant target, app::Variant background) {
+  const double starts[] = {4.4, 4.6, 4.8, 5.0, 5.2, 5.6};
+  CaseResult mean{0.0, 0.0, true};
+  int n = 0;
+  for (double s : starts) {
+    const CaseResult r =
+        run_case_once(target, background, sim::Time::seconds(s));
+    if (!r.complete) continue;
+    mean.delay_s += r.delay_s;
+    mean.loss_rate += r.loss_rate;
+    ++n;
+  }
+  if (n == 0) return {-1.0, 0.0, false};
+  mean.delay_s /= n;
+  mean.loss_rate /= n;
+  return mean;
+}
+
+}  // namespace
+}  // namespace rrtcp::bench
+
+int main() {
+  using namespace rrtcp::bench;
+  using rrtcp::app::Variant;
+  print_header("Table 5 — fairness of RR competing with TCP Reno",
+               "Wang & Shin 2001, Table 5 (targeted 100 KB transfer)");
+
+  struct Case {
+    int id;
+    Variant target;
+    Variant background;
+  };
+  const Case cases[] = {
+      {1, Variant::kReno, Variant::kReno},
+      {2, Variant::kReno, Variant::kRr},
+      {3, Variant::kRr, Variant::kRr},
+      {4, Variant::kRr, Variant::kReno},
+  };
+
+  rrtcp::stats::Table table{{"case", "target TCP", "background TCPs",
+                             "transfer delay (s)", "packet loss rate"}};
+  for (const Case& c : cases) {
+    const CaseResult r = run_case(c.target, c.background);
+    table.add_row(
+        {rrtcp::stats::Table::cell("%d", c.id),
+         rrtcp::app::to_string(c.target),
+         rrtcp::stats::Table::cell("%ss", rrtcp::app::to_string(c.background)),
+         r.complete ? rrtcp::stats::Table::cell("%.1f", r.delay_s)
+                    : std::string("did not finish"),
+         rrtcp::stats::Table::cell("%.0f%%", r.loss_rate * 100)});
+  }
+  table.print();
+  std::printf(
+      "\nshape check: switching the BACKGROUND from Reno to RR helps a\n"
+      "Reno target (case 2 < case 1 — less synchronization), and an RR\n"
+      "target among Renos (case 4) beats the all-Reno baseline by using\n"
+      "bandwidth Reno leaves idle. Values are means over six staggered\n"
+      "target starts; single runs of this chaotic 20-flow system swing by\n"
+      "3x (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,181 @@
+// rrtcp_sim — a small command-line driver over the public API: build a
+// dumbbell, run any mix of TCP variants over a drop-tail or RED (optionally
+// ECN) bottleneck with optional random loss, and print per-flow results.
+//
+//   rrtcp_sim [options]
+//     --variant V       tahoe|reno|newreno|sack|rr|rightedge|linkung (rr)
+//     --flows N         number of flows (2)
+//     --time SECONDS    simulated horizon (30)
+//     --buffer PKTS     bottleneck buffer (8)
+//     --red             RED gateway instead of drop-tail
+//     --ecn             RED marks instead of dropping (implies --red)
+//     --loss P          uniform random data loss at R1 (0)
+//     --ack-loss P      uniform random ACK loss at R2->R1 (0)
+//     --reorder P       fraction of data packets delayed 1.5 RTT (0)
+//     --bytes N         finite transfer size per flow (unbounded)
+//     --seed S          RNG seed (1)
+//     --verbose         per-event debug trace
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "app/flow_factory.hpp"
+#include "app/ftp.hpp"
+#include "net/drop_tail.hpp"
+#include "net/dumbbell.hpp"
+#include "net/red.hpp"
+#include "sim/log.hpp"
+#include "sim/simulator.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+struct Options {
+  rrtcp::app::Variant variant = rrtcp::app::Variant::kRr;
+  int flows = 2;
+  double time_s = 30;
+  std::uint64_t buffer = 8;
+  bool red = false;
+  bool ecn = false;
+  double loss = 0;
+  double ack_loss = 0;
+  double reorder = 0;
+  std::optional<std::uint64_t> bytes;
+  std::uint64_t seed = 1;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr, "see the header of examples/rrtcp_sim.cpp\n");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        usage();
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--variant"))
+      o.variant = rrtcp::app::variant_from_string(need("--variant"));
+    else if (!std::strcmp(argv[i], "--flows"))
+      o.flows = std::atoi(need("--flows"));
+    else if (!std::strcmp(argv[i], "--time"))
+      o.time_s = std::atof(need("--time"));
+    else if (!std::strcmp(argv[i], "--buffer"))
+      o.buffer = std::strtoull(need("--buffer"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--red"))
+      o.red = true;
+    else if (!std::strcmp(argv[i], "--ecn"))
+      o.red = o.ecn = true;
+    else if (!std::strcmp(argv[i], "--loss"))
+      o.loss = std::atof(need("--loss"));
+    else if (!std::strcmp(argv[i], "--ack-loss"))
+      o.ack_loss = std::atof(need("--ack-loss"));
+    else if (!std::strcmp(argv[i], "--reorder"))
+      o.reorder = std::atof(need("--reorder"));
+    else if (!std::strcmp(argv[i], "--bytes"))
+      o.bytes = std::strtoull(need("--bytes"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--seed"))
+      o.seed = std::strtoull(need("--seed"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--verbose"))
+      rrtcp::sim::Log::set_level(rrtcp::sim::LogLevel::kDebug);
+    else
+      usage();
+  }
+  if (o.flows < 1 || o.time_s <= 0) usage();
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rrtcp;
+  const Options o = parse(argc, argv);
+
+  sim::Simulator sim;
+  net::DumbbellConfig netcfg;
+  netcfg.n_flows = o.flows;
+  net::RedQueue* red = nullptr;
+  if (o.red) {
+    netcfg.make_bottleneck_queue = [&]() -> std::unique_ptr<net::QueueDisc> {
+      net::RedConfig rc;
+      rc.buffer_packets = std::max<std::uint64_t>(o.buffer, 3);
+      rc.max_th = rc.buffer_packets * 0.8;
+      rc.min_th = rc.buffer_packets * 0.2;
+      rc.ecn = o.ecn;
+      rc.seed = o.seed;
+      rc.mean_pkt_tx = sim::Time::transmission(1000, 800'000);
+      auto q = std::make_unique<net::RedQueue>(sim, rc);
+      red = q.get();
+      return q;
+    };
+  } else {
+    netcfg.make_bottleneck_queue = [&] {
+      return std::make_unique<net::DropTailQueue>(o.buffer);
+    };
+  }
+  net::DumbbellTopology topo{sim, netcfg};
+  if (o.loss > 0)
+    topo.bottleneck().set_loss_model(
+        std::make_unique<net::UniformLossModel>(o.loss, o.seed));
+  if (o.ack_loss > 0)
+    topo.reverse_bottleneck().set_loss_model(
+        std::make_unique<net::UniformLossModel>(o.ack_loss, o.seed + 1,
+                                                /*data_only=*/false));
+  if (o.reorder > 0)
+    topo.bottleneck().set_reorder_model(std::make_unique<net::ReorderModel>(
+        o.reorder, sim::Time::milliseconds(300), o.seed + 2));
+
+  tcp::TcpConfig tcfg;
+  tcfg.ecn_enabled = o.ecn;
+
+  std::vector<app::Flow> flows;
+  std::vector<std::unique_ptr<app::FtpSource>> sources;
+  for (int i = 0; i < o.flows; ++i) {
+    flows.push_back(app::make_flow(o.variant, sim, topo.sender_node(i),
+                                   topo.receiver_node(i), i + 1, tcfg));
+    sources.push_back(std::make_unique<app::FtpSource>(
+        sim, *flows.back().sender, sim::Time::milliseconds(200) * i,
+        o.bytes));
+  }
+
+  const sim::Time horizon = sim::Time::seconds(o.time_s);
+  sim.run_until(horizon);
+
+  stats::Table table{{"flow", "goodput (kbit/s)", "done", "rtx", "timeouts",
+                      "ecn reductions"}};
+  double total = 0;
+  for (int i = 0; i < o.flows; ++i) {
+    const auto& st = flows[i].sender->stats();
+    const double kbps =
+        flows[i].receiver->bytes_in_order() * 8.0 / o.time_s / 1e3;
+    total += kbps;
+    table.add_row({stats::Table::cell("%d", i + 1),
+                   stats::Table::cell("%.1f", kbps),
+                   flows[i].sender->complete() ? "yes" : "-",
+                   stats::Table::cell("%llu",
+                                      (unsigned long long)st.retransmissions),
+                   stats::Table::cell("%llu", (unsigned long long)st.timeouts),
+                   stats::Table::cell("%llu",
+                                      (unsigned long long)st.ecn_reductions)});
+  }
+  std::printf("%s x%d over %s (buffer %llu pkts), %.0f s\n",
+              app::to_string(o.variant), o.flows,
+              o.red ? (o.ecn ? "RED+ECN" : "RED") : "drop-tail",
+              (unsigned long long)o.buffer, o.time_s);
+  table.print();
+  std::printf("aggregate: %.1f of 800 kbit/s; bottleneck drops %llu%s\n",
+              total,
+              (unsigned long long)topo.bottleneck().queue().stats().dropped,
+              red ? stats::Table::cell(", ECN marks %llu",
+                                       (unsigned long long)red->ecn_marks())
+                        .c_str()
+                  : "");
+  return 0;
+}

@@ -1,0 +1,12 @@
+#include "app/ftp.hpp"
+
+namespace rrtcp::app {
+
+FtpSource::FtpSource(sim::Simulator& sim, tcp::TcpSenderBase& sender,
+                     sim::Time start, std::optional<std::uint64_t> bytes)
+    : start_{start} {
+  sender.set_app_bytes(bytes);
+  sim.schedule_at(start, [&sender] { sender.start(); });
+}
+
+}  // namespace rrtcp::app

@@ -1,0 +1,28 @@
+// FTP traffic source.
+//
+// The paper's workload: bulk transfer over TCP, either a finite file
+// (e.g. the 100 KB targeted transfer of Table 5) or an infinite backlog
+// (the background flows). The source simply arms the sender's application
+// buffer and schedules its start time; staggered starts are a one-liner.
+#pragma once
+
+#include <optional>
+
+#include "sim/simulator.hpp"
+#include "tcp/sender_base.hpp"
+
+namespace rrtcp::app {
+
+class FtpSource {
+ public:
+  // Transfer `bytes` (nullopt = unbounded) starting at absolute `start`.
+  FtpSource(sim::Simulator& sim, tcp::TcpSenderBase& sender, sim::Time start,
+            std::optional<std::uint64_t> bytes);
+
+  sim::Time start_time() const { return start_; }
+
+ private:
+  sim::Time start_;
+};
+
+}  // namespace rrtcp::app

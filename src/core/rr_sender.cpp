@@ -1,0 +1,246 @@
+#include "core/rr_sender.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+#include "sim/log.hpp"
+
+// Implementation notes — hardening beyond the paper's pseudocode
+// ---------------------------------------------------------------
+// Three measures below are not spelled out in the paper but are required
+// for the algorithm to behave as its text intends (each is documented in
+// DESIGN.md as a clarifying deviation):
+//
+// 1. ORDERING. At a clean probe-RTT boundary the sender emits both the
+//    hole retransmission and the extra (+1) probe packet. The probe packet
+//    must be serialized FIRST: its duplicate ACK then arrives just before
+//    the next boundary ACK and is counted in the closing RTT. The
+//    opposite order makes ndup systematically undercount by one, which
+//    the ndup/actnum comparison would misread as a loss every RTT.
+//
+// 2. TERRITORY RULES for boundary retransmissions. A partial ACK below
+//    the ORIGINAL exit threshold always points at a genuine hole (that
+//    data predates recovery by at least one RTT). Once recover_ has been
+//    extended, however, ACKs sweeping through recovery-sent, hole-free
+//    data also look like partial ACKs; retransmitting on each would
+//    resend the entire in-flight window. The deficit actnum - ndup is the
+//    paper's own count of further losses ("the difference ... indicates
+//    the number of further data losses"), so exactly that many extended-
+//    territory retransmissions are budgeted.
+//
+// 3. RESCUE RETRANSMISSION. The paper accepts a coarse timeout whenever a
+//    retransmission is lost. But the self-clock itself says when that has
+//    happened: the ACK of a boundary retransmission should return after
+//    about one RTT, i.e. after roughly `actnum` duplicate ACKs (the
+//    previous RTT's deliveries). If snd_una has not moved after
+//    actnum + dupack_threshold dup ACKs, the retransmission is almost
+//    certainly gone — retransmit it once more (cf. RFC 6675's rescue
+//    rule). This also repairs holes the budget of note 2 undercounted.
+//    Controlled by TcpConfig::rr_rescue_rtx; the ablation bench measures
+//    its effect.
+
+namespace rrtcp::core {
+
+using tcp::TcpPhase;
+
+void RrSender::handle_dup_ack(const net::TcpHeader& h) {
+  switch (state_) {
+    case State::kNone:
+      if (dupacks() == cfg_.dupack_threshold &&
+          !(recover_valid_ && h.ack < recover_)) {
+        enter_recovery();
+      }
+      return;
+
+    case State::kRetreat:
+      // Exponential back-off: one new packet per two dup ACKs.
+      ++ndup_;
+      if (ndup_ % 2 == 0 && send_one_new_segment()) ++sent_in_retreat_;
+      // Rescue (note 3): the entry retransmission should be ACKed after
+      // about one pre-loss window's worth of dup ACKs.
+      maybe_rescue(static_cast<long>(cwnd_bytes() / cfg_.mss));
+      return;
+
+    case State::kProbe:
+      // Self-clocking: each dup ACK means one packet left the path; send
+      // one new packet beyond maxseq in its place.
+      ++ndup_;
+      // Rescue (note 3): the boundary retransmission should be ACKed
+      // after about actnum dup ACKs (one self-clocked RTT).
+      maybe_rescue(actnum_);
+      send_one_new_segment();
+      return;
+  }
+}
+
+void RrSender::maybe_rescue(long expected_dupacks) {
+  if (!cfg_.rr_rescue_rtx || rescued_this_rtt_) return;
+  if (dupacks() < expected_dupacks + cfg_.dupack_threshold) return;
+  if (snd_una() >= max_sent()) return;
+  rescued_this_rtt_ = true;
+  ++rescue_rtx_;
+  retransmit(snd_una());
+}
+
+void RrSender::handle_new_ack(const net::TcpHeader& h, std::uint64_t) {
+  switch (state_) {
+    case State::kNone:
+      open_cwnd();
+      send_new_data();
+      return;
+
+    case State::kRetreat:
+      if (h.ack >= recover_) {
+        // Only a single packet was lost in the window; recovery is done
+        // after one RTT ("snd.una advances to, or beyond, the threshold").
+        exit_recovery();
+      } else {
+        on_partial_ack_in_retreat();
+      }
+      return;
+
+    case State::kProbe:
+      // The further-loss test comes FIRST: an ACK that reaches the exit
+      // threshold but with ndup < actnum means some of the new packets
+      // sent during recovery were themselves lost ("a new partial ACK
+      // beyond the original exit") — the exit must extend, not trigger.
+      // Exception: if the ACK covers everything ever sent, the deficit was
+      // ACK loss, not data loss — there is nothing left to recover.
+      if (ndup_ < actnum_ && h.ack < max_sent()) {
+        on_further_loss();
+      } else if (h.ack >= recover_) {
+        exit_recovery();
+      } else {
+        on_partial_ack_in_probe();
+      }
+      return;
+  }
+}
+
+void RrSender::enter_recovery() {
+  count_fast_retransmit();
+  recover_ = max_sent();   // paper: recover = maxseq
+  entry_recover_ = recover_;
+  recover_valid_ = true;
+  halve_ssthresh();        // paper: ssthresh = win * 1/2
+  retransmit(snd_una());   // first lost packet
+  // cwnd deliberately unchanged: it is not the controller during recovery.
+  state_ = State::kRetreat;
+  ndup_ = 0;
+  sent_in_retreat_ = 0;
+  actnum_ = 0;  // stays 0 throughout the retreat sub-phase
+  further_rtx_budget_ = 0;
+  rescued_this_rtt_ = false;
+  set_phase(TcpPhase::kRetreat);
+}
+
+void RrSender::on_partial_ack_in_retreat() {
+  // End of the first RTT: the retreat sub-phase ends and the role of
+  // congestion control transfers from cwnd to actnum. actnum is the number
+  // of new packets sent during the retreat (== ndup/2 unless app-limited).
+  actnum_ = sent_in_retreat_;
+  ndup_ = 0;
+  rescued_this_rtt_ = false;
+  // The partial ACK names the next hole: retransmit immediately. (Always
+  // original territory here — the ACK is below the entry threshold.)
+  retransmit(snd_una());
+  state_ = State::kProbe;
+  set_phase(TcpPhase::kProbe);
+  RRTCP_DEBUG(sim_.now(), variant_name(),
+              "retreat -> probe, actnum=%ld recover=%llu", actnum_,
+              static_cast<unsigned long long>(recover_));
+}
+
+void RrSender::on_partial_ack_in_probe() {
+  // A partial ACK with ndup == actnum marks a clean RTT boundary in the
+  // probe sub-phase (paper Figure 3): every new packet sent in the
+  // previous RTT arrived. Probe the new equilibrium (+1 packet per RTT,
+  // like congestion avoidance) and recover the hole the ACK names. The
+  // probe packet goes first — see ordering note 1 above.
+  ++actnum_;
+  if (cfg_.rr_probe_packet_first) {
+    send_one_new_segment();
+    boundary_retransmit();
+  } else {
+    boundary_retransmit();
+    send_one_new_segment();
+  }
+  ndup_ = 0;
+  rescued_this_rtt_ = false;
+}
+
+void RrSender::on_further_loss() {
+  // ndup < actnum: fewer of the previous RTT's new packets arrived than
+  // were sent — further data loss, detected WITHOUT another fast
+  // retransmit or timeout. Shrink linearly to the measured in-flight
+  // count and extend the exit so the new holes are recovered inside this
+  // same recovery episode (recover := snd.nxt at detection time).
+  ++further_loss_events_;
+  further_rtx_budget_ += actnum_ - ndup_;
+  RRTCP_DEBUG(sim_.now(), variant_name(),
+              "further loss: ndup=%ld < actnum=%ld, recover %llu -> %llu",
+              ndup_, actnum_, static_cast<unsigned long long>(recover_),
+              static_cast<unsigned long long>(max_sent()));
+  actnum_ = ndup_;  // may legitimately reach 0: the next clean partial ACK
+                    // bumps it back to 1 via the probe branch
+  recover_ = max_sent();
+  boundary_retransmit();
+  ndup_ = 0;
+  rescued_this_rtt_ = false;
+}
+
+void RrSender::boundary_retransmit() {
+  if (snd_una() < entry_recover_) {
+    // Original territory: guaranteed hole (note 2).
+    retransmit(snd_una());
+    return;
+  }
+  if (!cfg_.rr_budget_rtx) {
+    retransmit(snd_una());  // paper-literal: every boundary retransmits
+    return;
+  }
+  if (further_rtx_budget_ > 0) {
+    --further_rtx_budget_;
+    retransmit(snd_una());
+  }
+  // Otherwise: most likely an ACK sweeping hole-free recovery data; if a
+  // real hole was missed, the in-probe dup-ACK backstop repairs it.
+}
+
+void RrSender::exit_recovery() {
+  // In the single-loss (retreat) exit, actnum_ is still 0; the accurate
+  // in-flight count is what the retreat sub-phase sent.
+  const long flight_pkts =
+      std::max<long>(1, state_ == State::kRetreat ? sent_in_retreat_ : actnum_);
+  // Hand control back to cwnd with an accurate in-flight measure (paper
+  // Figure 2 exit: cwnd = actnum * MSS): the ACK that takes us out
+  // releases exactly one new packet — no big-ACK burst. ssthresh keeps
+  // the value set at entry (win/2), so if the probe ended below it the
+  // sender climbs back with a short slow start before congestion
+  // avoidance — vanilla TCP behavior, and burst-free because cwnd starts
+  // from the true in-flight count.
+  set_cwnd(static_cast<std::uint64_t>(flight_pkts) * cfg_.mss);
+  state_ = State::kNone;
+  actnum_ = 0;
+  ndup_ = 0;
+  sent_in_retreat_ = 0;
+  further_rtx_budget_ = 0;
+  update_open_phase();
+  RRTCP_DEBUG(sim_.now(), variant_name(), "exit recovery, cwnd=%.1f pkts",
+              cwnd_packets());
+  send_new_data();
+}
+
+void RrSender::handle_timeout_cleanup() {
+  // Retransmission losses fall back to the usual coarse timeout; all RR
+  // state is abandoned and slow start takes over (base class).
+  state_ = State::kNone;
+  actnum_ = 0;
+  ndup_ = 0;
+  sent_in_retreat_ = 0;
+  further_rtx_budget_ = 0;
+  recover_ = max_sent();
+  recover_valid_ = true;
+}
+
+}  // namespace rrtcp::core

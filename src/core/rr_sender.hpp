@@ -1,0 +1,106 @@
+// Robust Recovery (RR) — the congestion-recovery algorithm of
+// Wang & Shin, "Robust TCP Congestion Recovery", ICDCS 2001 (Section 2).
+//
+// RR replaces Reno/New-Reno fast recovery on the SENDER side only: it
+// needs neither SACK options nor any receiver change. Its state machine
+// (paper Figures 1-2):
+//
+//   entrance ─→ RETREAT ─→ (first partial ACK) ─→ PROBE ─→ exit
+//                  │                                │ ↺ further loss
+//                  └──────── (new ACK > recover) ───┴─→ exit
+//
+// * Entrance (3rd dup ACK): recover := maxseq; ssthresh := window/2;
+//   retransmit the first hole. cwnd is left UNTOUCHED — during recovery
+//   transmission is controlled by `actnum`, the paper's accurate count of
+//   packets actually in flight (cwnd over-counts: it includes dormant
+//   packets queued at the receiver and dropped packets).
+//
+// * Retreat (first RTT only): exponential back-off — one new packet per
+//   TWO dup ACKs, exactly one RTT's worth, because a burst of losses in
+//   one window is ONE congestion signal. ndup counts this RTT's dup ACKs.
+//
+// * Probe (per RTT, delimited by partial ACKs): each partial ACK triggers
+//   an immediate retransmission of the next hole; each dup ACK triggers
+//   ONE new packet (self-clocking, right-edge style). At every partial
+//   ACK, `ndup` (new packets of the previous RTT that arrived) is compared
+//   with `actnum` (new packets sent in the previous RTT):
+//     ndup == actnum  → no further loss: actnum += 1 and send one extra
+//                       packet — the linear probe toward the new
+//                       equilibrium (congestion-avoidance-like growth);
+//     ndup <  actnum  → further data loss, detected WITHOUT another fast
+//                       retransmit or timeout: actnum := ndup (linear
+//                       back-off) and the exit point advances to the
+//                       current maxseq so the new holes are recovered too.
+//
+// * Exit (new ACK beyond recover): control returns to cwnd with
+//   cwnd := actnum × MSS — an accurate in-flight measure, so the exit ACK
+//   releases exactly one new packet and the "big ACK" burst of
+//   New-Reno/SACK cannot happen. The connection continues in congestion
+//   avoidance.
+//
+// Retransmission losses are handled by the usual coarse timeout (base
+// class), as in the paper.
+#pragma once
+
+#include "tcp/sender_base.hpp"
+
+namespace rrtcp::core {
+
+class RrSender final : public tcp::TcpSenderBase {
+ public:
+  using TcpSenderBase::TcpSenderBase;
+
+  const char* variant_name() const override { return "rr"; }
+
+  // RR-specific introspection (paper Table 2 state variables).
+  bool in_recovery() const { return state_ != State::kNone; }
+  bool in_retreat() const { return state_ == State::kRetreat; }
+  bool in_probe() const { return state_ == State::kProbe; }
+  long actnum() const { return actnum_; }
+  long ndup() const { return ndup_; }
+  std::uint64_t recover_point() const { return recover_; }
+  // Number of further-loss events detected via the ndup/actnum comparison
+  // (i.e. without fast retransmit or timeout).
+  std::uint64_t further_loss_events() const { return further_loss_events_; }
+  // Number of rescue retransmissions (lost retransmissions repaired
+  // without a timeout; see implementation note 3).
+  std::uint64_t rescue_retransmissions() const { return rescue_rtx_; }
+
+ protected:
+  void handle_new_ack(const net::TcpHeader& h,
+                      std::uint64_t newly_acked) override;
+  void handle_dup_ack(const net::TcpHeader& h) override;
+  void handle_timeout_cleanup() override;
+
+ private:
+  enum class State { kNone, kRetreat, kProbe };
+
+  void enter_recovery();
+  void on_partial_ack_in_retreat();
+  void on_partial_ack_in_probe();
+  void on_further_loss();
+  // Retransmit the segment a probe-RTT boundary points at, subject to the
+  // territory rules (see the implementation notes).
+  void boundary_retransmit();
+  // Re-retransmit an unmoving hole once per RTT when the dup-ACK count
+  // says its retransmission was lost (implementation note 3).
+  void maybe_rescue(long expected_dupacks);
+  void exit_recovery();
+
+  State state_ = State::kNone;
+  std::uint64_t recover_ = 0;   // exit threshold (may advance on further loss)
+  std::uint64_t entry_recover_ = 0;  // exit threshold as fixed at entry
+  bool recover_valid_ = false;  // guards re-entry for the same window
+  long actnum_ = 0;             // new packets sent in the previous RTT
+  long ndup_ = 0;               // dup ACKs seen in the current RTT
+  long sent_in_retreat_ = 0;    // new packets sent during the retreat RTT
+  // Retransmissions owed for losses detected via the ndup/actnum deficit;
+  // bounds spurious retransmissions once recover_ has been extended.
+  long further_rtx_budget_ = 0;
+  // Rescue-retransmission state: at most one rescue per recovery RTT.
+  bool rescued_this_rtt_ = false;
+  std::uint64_t rescue_rtx_ = 0;
+  std::uint64_t further_loss_events_ = 0;
+};
+
+}  // namespace rrtcp::core

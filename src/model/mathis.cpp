@@ -1,0 +1,29 @@
+#include "model/mathis.hpp"
+
+#include <cmath>
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::model {
+
+double window_packets(double p, double c) {
+  RRTCP_ASSERT(p > 0.0 && p <= 1.0);
+  RRTCP_ASSERT(c > 0.0);
+  return c / std::sqrt(p);
+}
+
+double bandwidth_bps(std::uint32_t mss_bytes, double rtt_seconds, double p,
+                     double c) {
+  RRTCP_ASSERT(mss_bytes > 0);
+  RRTCP_ASSERT(rtt_seconds > 0.0);
+  return static_cast<double>(mss_bytes) * 8.0 / rtt_seconds *
+         window_packets(p, c);
+}
+
+double loss_rate_for_window(double window_pkts, double c) {
+  RRTCP_ASSERT(window_pkts > 0.0);
+  const double s = c / window_pkts;
+  return s * s;
+}
+
+}  // namespace rrtcp::model

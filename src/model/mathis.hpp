@@ -1,0 +1,32 @@
+// The Mathis et al. square-root model (ACM CCR 1997), used by the paper's
+// Section 4 to check that RR behaves like ideal congestion avoidance:
+//
+//     BW  <=  (MSS / RTT) * C / sqrt(p)
+//
+// where p is the random packet-loss rate and C a constant folding in the
+// ACK strategy. The paper plots the *window* form, BW*RTT/MSS = C/sqrt(p),
+// against the measured steady-state window of RR and SACK.
+#pragma once
+
+#include <cstdint>
+
+namespace rrtcp::model {
+
+// C = sqrt(3/2) ~ 1.2247: the Mathis constant for a receiver that ACKs
+// every packet (the paper's receiver configuration).
+inline constexpr double kMathisCPerPacketAck = 1.2247448713915890;
+// C = sqrt(3/4) ~ 0.8660: delayed ACKs (every other packet).
+inline constexpr double kMathisCDelayedAck = 0.8660254037844386;
+
+// Upper-bound bandwidth in bits/second.
+double bandwidth_bps(std::uint32_t mss_bytes, double rtt_seconds, double p,
+                     double c = kMathisCPerPacketAck);
+
+// Upper-bound window in packets: BW*RTT/MSS = C/sqrt(p).
+double window_packets(double p, double c = kMathisCPerPacketAck);
+
+// Inverts the model: the loss rate that would explain an observed window.
+double loss_rate_for_window(double window_pkts,
+                            double c = kMathisCPerPacketAck);
+
+}  // namespace rrtcp::model

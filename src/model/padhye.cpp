@@ -1,0 +1,30 @@
+#include "model/padhye.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::model {
+
+double padhye_throughput_pps(double p, const PadhyeParams& params) {
+  RRTCP_ASSERT(p > 0.0 && p < 1.0);
+  RRTCP_ASSERT(params.rtt_s > 0.0 && params.t0_s > 0.0 && params.b >= 1);
+
+  const double b = params.b;
+  const double fast_rtx_term = params.rtt_s * std::sqrt(2.0 * b * p / 3.0);
+  const double q = std::min(1.0, 3.0 * std::sqrt(3.0 * b * p / 8.0));
+  const double timeout_term =
+      params.t0_s * q * p * (1.0 + 32.0 * p * p);
+  double bw = 1.0 / (fast_rtx_term + timeout_term);
+
+  if (params.wmax_pkts > 0.0)
+    bw = std::min(bw, params.wmax_pkts / params.rtt_s);
+  return bw;
+}
+
+double padhye_window_packets(double p, const PadhyeParams& params) {
+  return padhye_throughput_pps(p, params) * params.rtt_s;
+}
+
+}  // namespace rrtcp::model

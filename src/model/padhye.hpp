@@ -1,0 +1,36 @@
+// The full TCP throughput model of Padhye, Firoiu, Towsley & Kurose
+// ("Modeling TCP Throughput: A Simple Model and its Empirical
+// Validation", SIGCOMM'98) — cited by the paper's Section 4 as the model
+// that "captures not only the behavior of fast retransmit but also the
+// effect of retransmission timeouts", i.e. the regime where the simple
+// square-root bound (model/mathis.hpp) stops fitting.
+//
+//               W_max bounded:  BW = min( W_max/RTT , B(p) )
+//
+//                                  1
+//   B(p) = ---------------------------------------------------------
+//          RTT*sqrt(2bp/3) + T0 * min(1, 3*sqrt(3bp/8)) * p*(1+32p^2)
+//
+// in packets/second, where b is the number of packets acknowledged per
+// ACK (1 for the paper's per-packet-ACK receivers), T0 the base timeout.
+#pragma once
+
+#include <cstdint>
+
+namespace rrtcp::model {
+
+struct PadhyeParams {
+  double rtt_s = 0.2;    // round-trip time
+  double t0_s = 1.0;     // base retransmission timeout (coarse timer)
+  int b = 1;             // packets per ACK (2 with delayed ACKs)
+  double wmax_pkts = 0;  // receiver-window cap in packets; 0 = unbounded
+};
+
+// Expected steady-state throughput in packets per second for random loss
+// probability p (0 < p < 1).
+double padhye_throughput_pps(double p, const PadhyeParams& params);
+
+// The window form used in the paper's Figure 7: BW*RTT/MSS in packets.
+double padhye_window_packets(double p, const PadhyeParams& params);
+
+}  // namespace rrtcp::model

@@ -1,0 +1,36 @@
+#include "net/drop_tail.hpp"
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::net {
+
+DropTailQueue::DropTailQueue(std::uint64_t capacity, Mode mode)
+    : capacity_{capacity}, mode_{mode} {
+  RRTCP_ASSERT_MSG(capacity > 0, "drop-tail queue needs capacity >= 1");
+}
+
+bool DropTailQueue::enqueue(Packet p) {
+  const bool full = mode_ == Mode::kPackets
+                        ? q_.size() >= capacity_
+                        : bytes_ + p.size_bytes > capacity_;
+  if (full) {
+    note_drop(p);
+    return false;
+  }
+  bytes_ += p.size_bytes;
+  q_.push_back(std::move(p));
+  ++stats_.enqueued;
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue() {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  RRTCP_DASSERT(bytes_ >= p.size_bytes);
+  bytes_ -= p.size_bytes;
+  ++stats_.dequeued;
+  return p;
+}
+
+}  // namespace rrtcp::net

@@ -1,0 +1,37 @@
+// Drop-tail (FIFO, finite buffer) queue discipline.
+//
+// Capacity is expressed in packets, matching the paper's convention ("the
+// window size and buffer space at the gateways are measured in number of
+// fixed-size packets"). A byte-capacity mode is available for scenarios
+// with heterogeneous packet sizes.
+#pragma once
+
+#include <deque>
+
+#include "net/queue_disc.hpp"
+
+namespace rrtcp::net {
+
+class DropTailQueue final : public QueueDisc {
+ public:
+  enum class Mode { kPackets, kBytes };
+
+  // capacity: max packets (kPackets) or max bytes (kBytes).
+  explicit DropTailQueue(std::uint64_t capacity, Mode mode = Mode::kPackets);
+
+  bool enqueue(Packet p) override;
+  std::optional<Packet> dequeue() override;
+  std::size_t len_packets() const override { return q_.size(); }
+  std::uint64_t len_bytes() const override { return bytes_; }
+
+  std::uint64_t capacity() const { return capacity_; }
+  Mode mode() const { return mode_; }
+
+ private:
+  std::deque<Packet> q_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t capacity_;
+  Mode mode_;
+};
+
+}  // namespace rrtcp::net

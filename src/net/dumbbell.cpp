@@ -1,0 +1,99 @@
+#include "net/dumbbell.hpp"
+
+#include "net/drop_tail.hpp"
+#include "sim/assert.hpp"
+
+namespace rrtcp::net {
+
+DumbbellTopology::DumbbellTopology(sim::Simulator& sim, DumbbellConfig cfg)
+    : sim_{sim}, cfg_{std::move(cfg)} {
+  RRTCP_ASSERT(cfg_.n_flows >= 1);
+  if (!cfg_.make_bottleneck_queue) {
+    cfg_.make_bottleneck_queue = [] {
+      return std::make_unique<DropTailQueue>(8);
+    };
+  }
+
+  r1_ = make_node();
+  r2_ = make_node();
+  for (int i = 0; i < cfg_.n_flows; ++i) senders_.push_back(make_node());
+  for (int i = 0; i < cfg_.n_flows; ++i) receivers_.push_back(make_node());
+
+  // Bottleneck pair. The forward direction gets the queue under test.
+  {
+    LinkConfig lc{cfg_.bottleneck_bps, cfg_.bottleneck_delay, "R1->R2"};
+    auto link = std::make_unique<Link>(sim_, lc, cfg_.make_bottleneck_queue());
+    link->set_dst(r2_);
+    fwd_bottleneck_ = link.get();
+    links_.push_back(std::move(link));
+  }
+  {
+    LinkConfig lc{cfg_.bottleneck_bps, cfg_.bottleneck_delay, "R2->R1"};
+    auto link = std::make_unique<Link>(
+        sim_, lc, std::make_unique<DropTailQueue>(cfg_.reverse_queue_packets));
+    link->set_dst(r1_);
+    rev_bottleneck_ = link.get();
+    links_.push_back(std::move(link));
+  }
+
+  for (int i = 0; i < cfg_.n_flows; ++i) {
+    Node& s = *senders_[i];
+    Node& k = *receivers_[i];
+    char name[32];
+
+    sim::Time sender_side_delay = cfg_.side_delay;
+    if (cfg_.side_delay_for) {
+      if (auto d = cfg_.side_delay_for(i)) sender_side_delay = *d;
+    }
+
+    std::snprintf(name, sizeof name, "S%d->R1", i + 1);
+    Link* s_r1 = make_link({cfg_.side_bps, sender_side_delay, name},
+                           cfg_.side_queue_packets, *r1_);
+    std::snprintf(name, sizeof name, "R1->S%d", i + 1);
+    Link* r1_s = make_link({cfg_.side_bps, sender_side_delay, name},
+                           cfg_.side_queue_packets, s);
+    std::snprintf(name, sizeof name, "R2->K%d", i + 1);
+    Link* r2_k = make_link({cfg_.side_bps, cfg_.side_delay, name},
+                           cfg_.side_queue_packets, k);
+    std::snprintf(name, sizeof name, "K%d->R2", i + 1);
+    Link* k_r2 = make_link({cfg_.side_bps, cfg_.side_delay, name},
+                           cfg_.side_queue_packets, *r2_);
+
+    // Hosts: everything goes to their gateway.
+    s.set_default_route(s_r1);
+    k.set_default_route(k_r2);
+    // Gateways: receivers are across the bottleneck, senders are local.
+    r1_->add_route(k.id(), fwd_bottleneck_);
+    r1_->add_route(s.id(), r1_s);
+    r2_->add_route(k.id(), r2_k);
+    r2_->add_route(s.id(), rev_bottleneck_);
+  }
+}
+
+Node* DumbbellTopology::make_node() {
+  nodes_.push_back(std::make_unique<Node>(static_cast<NodeId>(nodes_.size())));
+  return nodes_.back().get();
+}
+
+Link* DumbbellTopology::make_link(LinkConfig lc, std::uint64_t queue_pkts,
+                                  Node& dst) {
+  auto link = std::make_unique<Link>(
+      sim_, std::move(lc), std::make_unique<DropTailQueue>(queue_pkts));
+  link->set_dst(&dst);
+  links_.push_back(std::move(link));
+  return links_.back().get();
+}
+
+sim::Time DumbbellTopology::base_rtt(std::uint32_t data_bytes,
+                                     std::uint32_t ack_bytes) const {
+  using sim::Time;
+  const Time fwd = Time::transmission(data_bytes, cfg_.side_bps) * 2 +
+                   Time::transmission(data_bytes, cfg_.bottleneck_bps) +
+                   cfg_.side_delay * 2 + cfg_.bottleneck_delay;
+  const Time rev = Time::transmission(ack_bytes, cfg_.side_bps) * 2 +
+                   Time::transmission(ack_bytes, cfg_.bottleneck_bps) +
+                   cfg_.side_delay * 2 + cfg_.bottleneck_delay;
+  return fwd + rev;
+}
+
+}  // namespace rrtcp::net

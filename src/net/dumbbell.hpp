@@ -1,0 +1,81 @@
+// Dumbbell topology builder (the paper's Figure 4).
+//
+//   S1 ---\                      /--- K1
+//   S2 ----+-- R1 ======= R2 ---+---- K2
+//   Sn ---/    (bottleneck)      \--- Kn
+//
+// n sender hosts S_i and receiver hosts K_i around two gateways. The
+// forward bottleneck R1->R2 carries data; the reverse bottleneck R2->R1
+// carries ACKs. The queue discipline *under test* sits on the forward
+// bottleneck; every other buffer is a large drop-tail queue (effectively
+// lossless), matching the paper's setup where all drops happen at R1.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace rrtcp::net {
+
+struct DumbbellConfig {
+  int n_flows = 3;
+  std::int64_t bottleneck_bps = 800'000;                     // Table 3
+  sim::Time bottleneck_delay = sim::Time::milliseconds(100); // one-way
+  std::int64_t side_bps = 10'000'000;                        // Table 3
+  sim::Time side_delay = sim::Time::zero();
+  // Optional per-flow override of the sender-side access delay (S_i<->R1,
+  // both directions): lets scenarios give flows heterogeneous RTTs (the
+  // classic AIMD RTT-unfairness setup). Takes precedence over side_delay
+  // for the flows it returns a value for.
+  std::function<std::optional<sim::Time>(int flow_index)> side_delay_for;
+  // Factory for the forward-bottleneck queue (the device under test).
+  // Default: drop-tail with 8-packet buffer (Table 3).
+  std::function<std::unique_ptr<QueueDisc>()> make_bottleneck_queue;
+  // Buffers everywhere else — large enough to be lossless.
+  std::uint64_t side_queue_packets = 10'000;
+  std::uint64_t reverse_queue_packets = 10'000;
+};
+
+class DumbbellTopology {
+ public:
+  DumbbellTopology(sim::Simulator& sim, DumbbellConfig cfg);
+
+  int n_flows() const { return cfg_.n_flows; }
+
+  Node& sender_node(int i) { return *senders_.at(i); }
+  Node& receiver_node(int i) { return *receivers_.at(i); }
+  Node& r1() { return *r1_; }
+  Node& r2() { return *r2_; }
+
+  // The links hosting the shared queues.
+  Link& bottleneck() { return *fwd_bottleneck_; }        // R1 -> R2 (data)
+  Link& reverse_bottleneck() { return *rev_bottleneck_; }  // R2 -> R1 (ACKs)
+
+  // Round-trip propagation+transmission baseline for a 1000 B packet (no
+  // queueing), useful for sanity checks in tests.
+  sim::Time base_rtt(std::uint32_t data_bytes, std::uint32_t ack_bytes) const;
+
+  const DumbbellConfig& config() const { return cfg_; }
+
+ private:
+  Node* make_node();
+  Link* make_link(LinkConfig lc, std::uint64_t queue_pkts, Node& dst);
+
+  sim::Simulator& sim_;
+  DumbbellConfig cfg_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  Node* r1_ = nullptr;
+  Node* r2_ = nullptr;
+  std::vector<Node*> senders_;
+  std::vector<Node*> receivers_;
+  Link* fwd_bottleneck_ = nullptr;
+  Link* rev_bottleneck_ = nullptr;
+};
+
+}  // namespace rrtcp::net

@@ -1,0 +1,63 @@
+#include "net/link.hpp"
+
+#include "net/node.hpp"
+#include "sim/assert.hpp"
+#include "sim/log.hpp"
+
+namespace rrtcp::net {
+
+Link::Link(sim::Simulator& sim, LinkConfig cfg,
+           std::unique_ptr<QueueDisc> queue)
+    : sim_{sim}, cfg_{std::move(cfg)}, queue_{std::move(queue)} {
+  RRTCP_ASSERT(cfg_.bandwidth_bps > 0);
+  RRTCP_ASSERT(cfg_.prop_delay >= sim::Time::zero());
+  RRTCP_ASSERT(queue_ != nullptr);
+}
+
+void Link::send(Packet p) {
+  if (loss_ && loss_->should_drop(p, sim_.now())) {
+    ++loss_drops_;
+    RRTCP_TRACE(sim_.now(), cfg_.name.c_str(), "loss-model drop %s",
+                p.to_string().c_str());
+    return;
+  }
+  if (!queue_->enqueue(std::move(p))) {
+    RRTCP_TRACE(sim_.now(), cfg_.name.c_str(), "queue drop (len=%zu)",
+                queue_->len_packets());
+    return;
+  }
+  try_transmit();
+}
+
+void Link::try_transmit() {
+  if (busy_) return;
+  auto next = queue_->dequeue();
+  if (!next) return;
+
+  busy_ = true;
+  const sim::Time tx = tx_time(next->size_bytes);
+  busy_time_ += tx;
+  // Deliver after serialization + propagation (+ any reordering delay);
+  // free the transmitter after serialization alone.
+  Packet pkt = std::move(*next);
+  ++pkt.hops;
+  const sim::Time jitter =
+      reorder_ ? reorder_->delay_for_next_packet() : sim::Time::zero();
+  sim_.schedule_in(tx + cfg_.prop_delay + jitter, [this, pkt]() mutable {
+    ++delivered_;
+    bytes_delivered_ += pkt.size_bytes;
+    RRTCP_ASSERT_MSG(dst_ != nullptr, "link has no destination node");
+    dst_->receive(std::move(pkt));
+  });
+  sim_.schedule_in(tx, [this] {
+    busy_ = false;
+    try_transmit();
+  });
+}
+
+double Link::utilization(sim::Time now) const {
+  if (now <= sim::Time::zero()) return 0.0;
+  return busy_time_.to_seconds() / now.to_seconds();
+}
+
+}  // namespace rrtcp::net

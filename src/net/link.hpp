@@ -1,0 +1,94 @@
+// Unidirectional point-to-point link.
+//
+// A Link models an output buffer (its QueueDisc), a transmitter that
+// serializes one packet at a time at `bandwidth_bps`, and a propagation
+// pipe of fixed delay. An optional LossModel is consulted *before* the
+// queue — that is where a gateway's "artificial losses" live.
+//
+// Timing of a packet that arrives at an idle link:
+//   t0                 enqueue
+//   t0 + tx            last bit leaves (tx = size*8/bandwidth)
+//   t0 + tx + delay    delivered to the destination node
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/loss_model.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/queue_disc.hpp"
+#include "net/reorder.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace rrtcp::net {
+
+struct LinkConfig {
+  std::int64_t bandwidth_bps = 10'000'000;
+  sim::Time prop_delay = sim::Time::milliseconds(1);
+  std::string name = "link";
+};
+
+class Link final : public PacketHandler {
+ public:
+  Link(sim::Simulator& sim, LinkConfig cfg, std::unique_ptr<QueueDisc> queue);
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Wiring (done once by the topology builder).
+  void set_dst(Node* dst) { dst_ = dst; }
+  Node* dst() const { return dst_; }
+
+  // Install/replace the ingress loss model (may be null).
+  void set_loss_model(std::unique_ptr<LossModel> model) {
+    loss_ = std::move(model);
+  }
+  LossModel* loss_model() const { return loss_.get(); }
+
+  // Install/replace a reordering model: selected packets are delivered
+  // with an extra delay, letting later packets overtake them.
+  void set_reorder_model(std::unique_ptr<ReorderModel> model) {
+    reorder_ = std::move(model);
+  }
+  ReorderModel* reorder_model() const { return reorder_.get(); }
+
+  // Offer a packet to the link. It may be dropped by the loss model or the
+  // queue; otherwise it is delivered to dst() after queueing + tx + delay.
+  void send(Packet p) override;
+
+  QueueDisc& queue() { return *queue_; }
+  const QueueDisc& queue() const { return *queue_; }
+  const LinkConfig& config() const { return cfg_; }
+
+  // Serialization time of one packet of `bytes` on this link.
+  sim::Time tx_time(std::uint32_t bytes) const {
+    return sim::Time::transmission(bytes, cfg_.bandwidth_bps);
+  }
+
+  // Statistics.
+  std::uint64_t packets_delivered() const { return delivered_; }
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+  std::uint64_t loss_model_drops() const { return loss_drops_; }
+  // Fraction of [0, now] the transmitter spent busy.
+  double utilization(sim::Time now) const;
+
+ private:
+  void try_transmit();
+
+  sim::Simulator& sim_;
+  LinkConfig cfg_;
+  std::unique_ptr<QueueDisc> queue_;
+  std::unique_ptr<LossModel> loss_;
+  std::unique_ptr<ReorderModel> reorder_;
+  Node* dst_ = nullptr;
+
+  bool busy_ = false;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t loss_drops_ = 0;
+  sim::Time busy_time_ = sim::Time::zero();
+};
+
+}  // namespace rrtcp::net

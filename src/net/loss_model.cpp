@@ -1,0 +1,72 @@
+#include "net/loss_model.hpp"
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::net {
+
+UniformLossModel::UniformLossModel(double rate, std::uint64_t seed,
+                                   bool data_only)
+    : rate_{rate}, data_only_{data_only}, rng_{seed, "uniform-loss"} {
+  RRTCP_ASSERT(rate >= 0.0 && rate <= 1.0);
+}
+
+bool UniformLossModel::should_drop(const Packet& p, sim::Time) {
+  if (data_only_ && !p.is_data()) return false;
+  if (rng_.bernoulli(rate_)) {
+    count_drop();
+    return true;
+  }
+  return false;
+}
+
+ListLossModel::ListLossModel(
+    std::vector<std::pair<FlowId, std::uint64_t>> losses)
+    : pending_{losses.begin(), losses.end()} {}
+
+bool ListLossModel::should_drop(const Packet& p, sim::Time) {
+  if (!p.is_data()) return false;
+  auto it = pending_.find({p.flow, p.tcp.seq});
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  count_drop();
+  return true;
+}
+
+SegmentLossModel::SegmentLossModel(FlowId flow, std::uint64_t seq,
+                                   std::uint64_t times)
+    : flow_{flow}, seq_{seq}, remaining_{times} {
+  RRTCP_ASSERT(times >= 1);
+}
+
+bool SegmentLossModel::should_drop(const Packet& p, sim::Time) {
+  if (!p.is_data() || p.flow != flow_ || p.tcp.seq != seq_) return false;
+  if (remaining_ == 0) return false;
+  --remaining_;
+  count_drop();
+  return true;
+}
+
+CountedLossModel::CountedLossModel(FlowId flow, std::uint64_t first,
+                                   std::uint64_t burst)
+    : flow_{flow}, first_{first}, last_{first + burst - 1} {
+  RRTCP_ASSERT(first >= 1 && burst >= 1);
+}
+
+bool CountedLossModel::should_drop(const Packet& p, sim::Time) {
+  if (!p.is_data() || p.flow != flow_) return false;
+  ++seen_;
+  if (seen_ >= first_ && seen_ <= last_) {
+    count_drop();
+    return true;
+  }
+  return false;
+}
+
+bool CompositeLossModel::should_drop(const Packet& p, sim::Time now) {
+  bool drop = false;
+  for (auto& m : models_) drop = m->should_drop(p, now) || drop;
+  if (drop) count_drop();
+  return drop;
+}
+
+}  // namespace rrtcp::net

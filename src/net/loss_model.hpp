@@ -1,0 +1,110 @@
+// Loss models: deterministic and random packet-drop injection.
+//
+// The paper introduces losses two ways: implicitly (buffer overflow at a
+// drop-tail/RED gateway) and explicitly ("artificial losses are introduced
+// at the gateway R1", Section 4). A LossModel attached to a Link is
+// consulted before the egress queue; it realizes the explicit kind, and —
+// for the Figure 5 scenarios — lets us reproduce the exact "3 drops / 6
+// drops within one window" patterns deterministically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace rrtcp::net {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  // Return true to drop this packet (consulted once per link arrival).
+  virtual bool should_drop(const Packet& p, sim::Time now) = 0;
+
+  std::uint64_t drops() const { return drops_; }
+
+ protected:
+  void count_drop() { ++drops_; }
+
+ private:
+  std::uint64_t drops_ = 0;
+};
+
+// Drops each data packet independently with fixed probability. ACKs pass
+// through unless data_only is false.
+class UniformLossModel final : public LossModel {
+ public:
+  UniformLossModel(double rate, std::uint64_t seed, bool data_only = true);
+  bool should_drop(const Packet& p, sim::Time now) override;
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  bool data_only_;
+  sim::Rng rng_;
+};
+
+// Drops specific (flow, seq) data segments exactly once each — later
+// retransmissions of the same seq pass. This is how the Figure 5 scenarios
+// carve an exact k-packet burst out of one window.
+class ListLossModel final : public LossModel {
+ public:
+  // losses: pairs of (flow, first byte of the segment to drop)
+  explicit ListLossModel(
+      std::vector<std::pair<FlowId, std::uint64_t>> losses);
+  bool should_drop(const Packet& p, sim::Time now) override;
+
+  std::size_t remaining() const { return pending_.size(); }
+
+ private:
+  std::set<std::pair<FlowId, std::uint64_t>> pending_;
+};
+
+// Drops the first `times` transmissions of one specific segment (flow,
+// seq): with times >= 2 this models retransmission loss, which forces the
+// sender onto the coarse-timeout path.
+class SegmentLossModel final : public LossModel {
+ public:
+  SegmentLossModel(FlowId flow, std::uint64_t seq, std::uint64_t times);
+  bool should_drop(const Packet& p, sim::Time now) override;
+
+ private:
+  FlowId flow_;
+  std::uint64_t seq_;
+  std::uint64_t remaining_;
+};
+
+// Drops the n-th..(n+burst-1)-th *data* arrivals of one flow (1-based count
+// of arrivals at this link, counting retransmissions). Useful for loss
+// patterns positioned by packet count rather than byte offset.
+class CountedLossModel final : public LossModel {
+ public:
+  CountedLossModel(FlowId flow, std::uint64_t first, std::uint64_t burst);
+  bool should_drop(const Packet& p, sim::Time now) override;
+
+ private:
+  FlowId flow_;
+  std::uint64_t first_;
+  std::uint64_t last_;
+  std::uint64_t seen_ = 0;
+};
+
+// Composes several models: a packet is dropped if any constituent says so.
+// Constituents are always all consulted so their arrival counters advance
+// consistently.
+class CompositeLossModel final : public LossModel {
+ public:
+  void add(std::unique_ptr<LossModel> m) { models_.push_back(std::move(m)); }
+  bool should_drop(const Packet& p, sim::Time now) override;
+
+ private:
+  std::vector<std::unique_ptr<LossModel>> models_;
+};
+
+}  // namespace rrtcp::net

@@ -1,0 +1,29 @@
+#include "net/node.hpp"
+
+#include "net/link.hpp"
+#include "sim/log.hpp"
+
+namespace rrtcp::net {
+
+void Node::receive(Packet p) {
+  if (p.dst == id_) {
+    auto it = agents_.find(p.flow);
+    if (it == agents_.end()) {
+      ++undeliverable_;
+      return;
+    }
+    it->second->receive(std::move(p));
+    return;
+  }
+  // Forward.
+  PacketHandler* out = default_route_;
+  if (auto it = routes_.find(p.dst); it != routes_.end()) out = it->second;
+  if (out == nullptr) {
+    ++undeliverable_;
+    return;
+  }
+  ++forwarded_;
+  out->send(std::move(p));
+}
+
+}  // namespace rrtcp::net

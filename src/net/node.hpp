@@ -1,0 +1,67 @@
+// Network node: hosts agents (transport endpoints) and forwards packets.
+//
+// Routing is static: a table mapping destination NodeId -> egress Link,
+// plus an optional default route. End hosts typically have only a default
+// route; gateways have per-destination entries. Local delivery dispatches
+// on FlowId, so multiple connections can terminate on one node.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+
+namespace rrtcp::net {
+
+// Anything that can carry a packet away from a node. Link is the real
+// implementation; tests substitute capturing fakes.
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void send(Packet p) = 0;
+};
+
+// A transport endpoint attached to a Node.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  virtual void receive(Packet p) = 0;
+};
+
+class Node {
+ public:
+  explicit Node(NodeId id) : id_{id} {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+
+  // Attach `agent` as the local endpoint for `flow`. One agent per flow per
+  // node; re-attaching replaces (used by tests).
+  void attach_agent(FlowId flow, Agent* agent) { agents_[flow] = agent; }
+  void detach_agent(FlowId flow) { agents_.erase(flow); }
+
+  void add_route(NodeId dst, PacketHandler* link) { routes_[dst] = link; }
+  void set_default_route(PacketHandler* link) { default_route_ = link; }
+
+  // Packet arriving at this node (from a link, or injected by a local
+  // agent). Locally-addressed packets go to the matching agent; everything
+  // else is forwarded. Packets with no agent/route are counted and dropped.
+  void receive(Packet p);
+
+  // Convenience for agents: identical to receive(), reads as "transmit".
+  void inject(Packet p) { receive(std::move(p)); }
+
+  std::uint64_t undeliverable() const { return undeliverable_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  NodeId id_;
+  std::unordered_map<FlowId, Agent*> agents_;
+  std::unordered_map<NodeId, PacketHandler*> routes_;
+  PacketHandler* default_route_ = nullptr;
+  std::uint64_t undeliverable_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace rrtcp::net

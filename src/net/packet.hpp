@@ -1,0 +1,68 @@
+// Packet model.
+//
+// A Packet is a small value type: moving it through queues and links copies
+// ~100 bytes and never allocates. Sequence and ACK numbers are 64-bit byte
+// offsets — simulations never wrap, which keeps the transport logic free of
+// modular arithmetic (wrap-aware 32-bit sequence arithmetic is provided and
+// tested separately in tcp/seq.hpp as the production-sized variant).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rrtcp::net {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+enum class PacketType : std::uint8_t { kData, kAck };
+
+// One SACK block: [begin, end) in byte offsets.
+struct SackBlock {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  friend bool operator==(const SackBlock&, const SackBlock&) = default;
+};
+
+inline constexpr int kMaxSackBlocks = 3;
+
+// Transport header carried by both data and ACK packets.
+struct TcpHeader {
+  std::uint64_t seq = 0;      // data: first byte of this segment
+  std::uint64_t ack = 0;      // ack: next byte expected by the receiver
+  std::uint32_t payload = 0;  // data: payload length in bytes
+  std::uint8_t n_sack = 0;    // ack: number of valid SACK blocks
+  std::array<SackBlock, kMaxSackBlocks> sack{};
+  // Explicit Congestion Notification (RFC 3168) bits.
+  bool ect = false;  // data: ECN-capable transport
+  bool ce = false;   // data: congestion experienced (set by a gateway)
+  bool ece = false;  // ack: ECN echo (receiver -> sender)
+  bool cwr = false;  // data: congestion window reduced (sender -> receiver)
+};
+
+struct Packet {
+  std::uint64_t uid = 0;  // globally unique, assigned by make_packet()
+  FlowId flow = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  PacketType type = PacketType::kData;
+  std::uint32_t size_bytes = 0;  // on-wire size incl. headers
+  TcpHeader tcp;
+  sim::Time sent_at = sim::Time::zero();  // stamped by the first link
+  std::uint32_t hops = 0;
+
+  bool is_data() const { return type == PacketType::kData; }
+  bool is_ack() const { return type == PacketType::kAck; }
+  std::string to_string() const;
+};
+
+// Allocates the next globally unique packet uid. Uids exist purely for
+// tracing/debugging; simulation behavior never depends on them.
+std::uint64_t next_packet_uid();
+
+}  // namespace rrtcp::net

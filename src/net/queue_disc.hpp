@@ -1,0 +1,63 @@
+// Queue discipline interface.
+//
+// A QueueDisc decides, packet by packet, whether to admit an arrival and in
+// what order to release departures. Implementations: DropTailQueue (FIFO,
+// finite buffer) and RedQueue (Random Early Detection). Links own exactly
+// one QueueDisc for their egress buffer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace rrtcp::net {
+
+struct QueueStats {
+  std::uint64_t enqueued = 0;   // packets admitted
+  std::uint64_t dequeued = 0;   // packets released to the link
+  std::uint64_t dropped = 0;    // packets rejected (any reason)
+  std::uint64_t bytes_dropped = 0;
+};
+
+class QueueDisc {
+ public:
+  virtual ~QueueDisc() = default;
+
+  // Offer a packet to the queue. Returns true if admitted; false if dropped
+  // (the packet is simply discarded — the caller keeps no copy).
+  virtual bool enqueue(Packet p) = 0;
+
+  // Remove and return the next packet, or nullopt if empty.
+  virtual std::optional<Packet> dequeue() = 0;
+
+  // Current occupancy.
+  virtual std::size_t len_packets() const = 0;
+  virtual std::uint64_t len_bytes() const = 0;
+
+  bool empty() const { return len_packets() == 0; }
+
+  const QueueStats& stats() const { return stats_; }
+
+  // Invoked for every dropped packet (before it is discarded); used for
+  // per-flow loss accounting in the experiment harnesses.
+  void set_drop_callback(std::function<void(const Packet&)> fn) {
+    drop_fn_ = std::move(fn);
+  }
+
+ protected:
+  // Implementations call this for every rejected packet.
+  void note_drop(const Packet& p) {
+    ++stats_.dropped;
+    stats_.bytes_dropped += p.size_bytes;
+    if (drop_fn_) drop_fn_(p);
+  }
+
+  QueueStats stats_;
+
+ private:
+  std::function<void(const Packet&)> drop_fn_;
+};
+
+}  // namespace rrtcp::net

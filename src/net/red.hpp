@@ -1,0 +1,84 @@
+// Random Early Detection (RED) gateway queue.
+//
+// Implements Floyd & Jacobson, "Random Early Detection Gateways for
+// Congestion Avoidance" (ToN 1993), with the count-based drop spreading of
+// the original paper and the idle-period compensation of the ns-2
+// implementation. The queue length is measured in packets, as in the
+// paper's evaluation (Table 4: buffer 25 pkts, min_th 5, max_th 20,
+// max_p 0.02, w_q 0.002).
+#pragma once
+
+#include <deque>
+
+#include "net/queue_disc.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace rrtcp::net {
+
+struct RedConfig {
+  std::uint64_t buffer_packets = 25;  // hard limit
+  double min_th = 5.0;                // packets
+  double max_th = 20.0;               // packets
+  double max_p = 0.02;                // drop probability at max_th
+  double w_q = 0.002;                 // EWMA weight for the average queue
+  // "Gentle" RED: between max_th and 2*max_th the drop probability rises
+  // linearly from max_p to 1 instead of jumping to 1. Off by default to
+  // match the original algorithm used in the paper's era.
+  bool gentle = false;
+  // ECN marking (RFC 3168): an early "drop" of an ECN-capable packet sets
+  // its CE bit and admits it instead. Forced drops (buffer exhausted or
+  // avg >= max_th) still drop. Off by default — the paper's RED drops.
+  bool ecn = false;
+  // Typical transmission time of one packet on the outgoing link; used to
+  // age the average queue across idle periods (m = idle / mean_pkt_tx).
+  // Time::zero() disables idle compensation.
+  sim::Time mean_pkt_tx = sim::Time::zero();
+  std::uint64_t seed = 1;  // seed for the drop-decision RNG stream
+};
+
+class RedQueue final : public QueueDisc {
+ public:
+  RedQueue(sim::Simulator& sim, RedConfig cfg);
+
+  bool enqueue(Packet p) override;
+  std::optional<Packet> dequeue() override;
+  std::size_t len_packets() const override { return q_.size(); }
+  std::uint64_t len_bytes() const override { return bytes_; }
+
+  // Current EWMA of the queue length, in packets.
+  double avg_queue() const { return avg_; }
+
+  const RedConfig& config() const { return cfg_; }
+
+  std::uint64_t early_drops() const { return early_drops_; }
+  std::uint64_t forced_drops() const { return forced_drops_; }
+  std::uint64_t ecn_marks() const { return ecn_marks_; }
+
+ private:
+  // Updates avg_ for an arrival at the current time.
+  void update_average();
+  // Probability with which this arrival should be dropped early.
+  double drop_probability() const;
+
+  sim::Simulator& sim_;
+  RedConfig cfg_;
+  sim::Rng rng_;
+
+  std::deque<Packet> q_;
+  std::uint64_t bytes_ = 0;
+
+  double avg_ = 0.0;
+  // Packets admitted since the last early drop while avg in [min,max);
+  // -1 encodes "avg below min_th", per the original pseudocode.
+  long count_ = -1;
+  // Time at which the queue last went idle (valid while empty).
+  sim::Time idle_since_ = sim::Time::zero();
+  bool idle_ = true;
+
+  std::uint64_t early_drops_ = 0;
+  std::uint64_t forced_drops_ = 0;
+  std::uint64_t ecn_marks_ = 0;
+};
+
+}  // namespace rrtcp::net

@@ -1,0 +1,24 @@
+#include "net/reorder.hpp"
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::net {
+
+ReorderModel::ReorderModel(double probability, sim::Time extra_delay,
+                           std::uint64_t seed)
+    : probability_{probability},
+      extra_delay_{extra_delay},
+      rng_{seed, "reorder"} {
+  RRTCP_ASSERT(probability >= 0.0 && probability <= 1.0);
+  RRTCP_ASSERT(extra_delay >= sim::Time::zero());
+}
+
+sim::Time ReorderModel::delay_for_next_packet() {
+  if (probability_ > 0.0 && rng_.bernoulli(probability_)) {
+    ++reordered_;
+    return extra_delay_;
+  }
+  return sim::Time::zero();
+}
+
+}  // namespace rrtcp::net

@@ -1,0 +1,36 @@
+// Packet-reordering injection.
+//
+// A ReorderingLink wraps delivery with a random extra delay applied to a
+// fraction of packets, so a later-sent packet can overtake an earlier one
+// — the network pathology that makes duplicate ACKs an ambiguous loss
+// signal (the reason for the 3-dupack threshold, and the situation the
+// Lin-Kung scheme optimizes for). Implemented as a LossModel-independent
+// decorator: attach to any Link via set_reorder_model().
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace rrtcp::net {
+
+class ReorderModel {
+ public:
+  // probability: fraction of packets delayed; extra_delay: how much later
+  // a delayed packet is handed to the destination node.
+  ReorderModel(double probability, sim::Time extra_delay, std::uint64_t seed);
+
+  // Extra delivery delay for this packet (zero for most).
+  sim::Time delay_for_next_packet();
+
+  std::uint64_t reordered() const { return reordered_; }
+
+ private:
+  double probability_;
+  sim::Time extra_delay_;
+  sim::Rng rng_;
+  std::uint64_t reordered_ = 0;
+};
+
+}  // namespace rrtcp::net

@@ -1,0 +1,36 @@
+// Invariant checking for rrtcp.
+//
+// RRTCP_ASSERT is always compiled in (simulation correctness beats the
+// negligible cost of a predictable branch); RRTCP_DASSERT compiles away in
+// NDEBUG builds and is meant for hot-path checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rrtcp {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "rrtcp assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace rrtcp
+
+#define RRTCP_ASSERT(expr)                                          \
+  do {                                                              \
+    if (!(expr)) ::rrtcp::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define RRTCP_ASSERT_MSG(expr, msg)                              \
+  do {                                                           \
+    if (!(expr)) ::rrtcp::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define RRTCP_DASSERT(expr) ((void)0)
+#else
+#define RRTCP_DASSERT(expr) RRTCP_ASSERT(expr)
+#endif

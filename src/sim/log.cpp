@@ -1,0 +1,26 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+
+namespace rrtcp::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+}
+
+void Log::set_level(LogLevel level) { g_level = level; }
+
+LogLevel Log::level() { return g_level; }
+
+void Log::write(LogLevel level, Time now, const char* component,
+                const char* fmt, ...) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "%12.6f [%-12s] ", now.to_seconds(), component);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace rrtcp::sim

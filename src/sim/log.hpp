@@ -1,0 +1,43 @@
+// Minimal structured trace logging.
+//
+// Components emit trace lines tagged with simulation time and a component
+// name. Logging is off by default (benchmarks and tests stay quiet); the
+// examples flip it on with --verbose. printf-style formatting keeps call
+// sites compact and avoids iostream bloat in hot paths — the level check
+// happens before any formatting work.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rrtcp::sim {
+
+enum class LogLevel : int { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static bool enabled(LogLevel level) { return level <= Log::level(); }
+
+  // Emit one line: "<time> [component] message".
+  static void write(LogLevel level, Time now, const char* component,
+                    const char* fmt, ...) __attribute__((format(printf, 4, 5)));
+};
+
+}  // namespace rrtcp::sim
+
+#define RRTCP_LOG(level, now, component, ...)                     \
+  do {                                                            \
+    if (::rrtcp::sim::Log::enabled(level))                        \
+      ::rrtcp::sim::Log::write(level, now, component, __VA_ARGS__); \
+  } while (0)
+
+#define RRTCP_INFO(now, component, ...) \
+  RRTCP_LOG(::rrtcp::sim::LogLevel::kInfo, now, component, __VA_ARGS__)
+#define RRTCP_DEBUG(now, component, ...) \
+  RRTCP_LOG(::rrtcp::sim::LogLevel::kDebug, now, component, __VA_ARGS__)
+#define RRTCP_TRACE(now, component, ...) \
+  RRTCP_LOG(::rrtcp::sim::LogLevel::kTrace, now, component, __VA_ARGS__)

@@ -1,0 +1,57 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::sim {
+
+EventHandle Simulator::schedule_at(Time at, EventFn fn) {
+  RRTCP_ASSERT_MSG(at >= now_, "cannot schedule an event in the past");
+  RRTCP_ASSERT_MSG(static_cast<bool>(fn), "event callable must be non-empty");
+  auto state = std::make_shared<detail::EventState>();
+  state->fn = std::move(fn);
+  EventHandle handle{state};
+  heap_.push(HeapEntry{at, next_seq_++, std::move(state)});
+  return handle;
+}
+
+bool Simulator::step() {
+  // Entries cancelled after insertion are discarded lazily here.
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    if (top.state->cancelled) continue;
+    RRTCP_ASSERT(top.at >= now_);
+    now_ = top.at;
+    EventFn fn = std::move(top.state->fn);
+    top.state->cancelled = true;  // handle now reports "not pending"
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_) {
+    // Peek at the next live event without executing it.
+    while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
+    if (heap_.empty()) break;
+    if (heap_.top().at > deadline) break;
+    if (step()) ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace rrtcp::sim

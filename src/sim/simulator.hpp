@@ -1,0 +1,116 @@
+// Discrete-event simulation engine.
+//
+// The Simulator owns a binary-heap event queue keyed by (time, insertion
+// sequence): events scheduled for the same instant execute in the order they
+// were scheduled, which makes every run deterministic. Events are arbitrary
+// callables; cancellation is supported through EventHandle without removing
+// entries from the heap (lazy deletion).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rrtcp::sim {
+
+using EventFn = std::function<void()>;
+
+namespace detail {
+struct EventState {
+  EventFn fn;
+  bool cancelled = false;
+};
+}  // namespace detail
+
+// A cheap, copyable handle to a scheduled event. A default-constructed
+// handle refers to no event. Cancelling an already-fired or already-
+// cancelled event is a harmless no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Returns true if the event was pending and is now cancelled.
+  bool cancel() {
+    if (auto st = state_.lock(); st && !st->cancelled) {
+      st->cancelled = true;
+      st->fn = nullptr;  // release captured resources eagerly
+      return true;
+    }
+    return false;
+  }
+
+  // True while the event is still waiting to fire.
+  bool pending() const {
+    auto st = state_.lock();
+    return st && !st->cancelled;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::weak_ptr<detail::EventState> st)
+      : state_{std::move(st)} {}
+  std::weak_ptr<detail::EventState> state_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulation time. Monotonically non-decreasing.
+  Time now() const { return now_; }
+
+  // Schedule `fn` to run at absolute time `at` (must be >= now()).
+  EventHandle schedule_at(Time at, EventFn fn);
+
+  // Schedule `fn` to run `delay` from now (delay must be >= 0).
+  EventHandle schedule_in(Time delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Run until the event queue drains or stop() is called.
+  // Returns the number of events executed.
+  std::uint64_t run();
+
+  // Run until simulation time reaches `deadline` (events at exactly
+  // `deadline` are executed), the queue drains, or stop() is called.
+  std::uint64_t run_until(Time deadline);
+
+  // Execute at most one pending event. Returns false if the queue is empty.
+  bool step();
+
+  // Request that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  // Number of scheduled entries still in the queue. Entries cancelled via
+  // EventHandle are removed lazily, so this is an upper bound on the number
+  // of events that will actually fire.
+  std::size_t pending_events() const { return heap_.size(); }
+
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct HeapEntry {
+    Time at;
+    std::uint64_t seq;
+    std::shared_ptr<detail::EventState> state;
+    // Min-heap on (at, seq) via std::priority_queue's max-heap comparator.
+    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<HeapEntry> heap_;
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace rrtcp::sim

@@ -1,0 +1,96 @@
+// Simulation time as a strong integer type.
+//
+// Time is stored in integer picoseconds so that event ordering is exact and
+// runs are bit-reproducible; doubles appear only at the API edges
+// (Time::seconds / Time::to_seconds). The picosecond granularity lets us
+// represent the serialization time of a 40-byte ACK on a 10 Gbps link
+// without rounding, while int64 still spans ~106 days of simulated time.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rrtcp::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  // Named constructors -------------------------------------------------
+  static constexpr Time picoseconds(std::int64_t ps) { return Time{ps}; }
+  static constexpr Time nanoseconds(std::int64_t ns) {
+    return Time{ns * 1'000};
+  }
+  static constexpr Time microseconds(std::int64_t us) {
+    return Time{us * 1'000'000};
+  }
+  static constexpr Time milliseconds(std::int64_t ms) {
+    return Time{ms * 1'000'000'000};
+  }
+  static constexpr Time seconds(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e12 + (s >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time infinity() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  // Serialization time of `bytes` at `bits_per_second`.
+  static constexpr Time transmission(std::int64_t bytes,
+                                     std::int64_t bits_per_second) {
+    // bytes*8*1e12 can overflow int64 for jumbo values; split the multiply.
+    const std::int64_t bits = bytes * 8;
+    const std::int64_t whole = bits / bits_per_second;
+    const std::int64_t rem = bits % bits_per_second;
+    return Time{whole * 1'000'000'000'000 +
+                rem * 1'000'000'000'000 / bits_per_second};
+  }
+
+  // Accessors -----------------------------------------------------------
+  constexpr std::int64_t ps() const { return ps_; }
+  constexpr double to_seconds() const { return static_cast<double>(ps_) / 1e12; }
+  constexpr bool is_infinite() const {
+    return ps_ == std::numeric_limits<std::int64_t>::max();
+  }
+
+  // Arithmetic ----------------------------------------------------------
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ps_ + b.ps_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ps_ - b.ps_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) {
+    return Time{a.ps_ * k};
+  }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return a * k; }
+  friend constexpr Time operator/(Time a, std::int64_t k) {
+    return Time{a.ps_ / k};
+  }
+  friend constexpr std::int64_t operator/(Time a, Time b) {
+    return a.ps_ / b.ps_;
+  }
+  constexpr Time& operator+=(Time o) {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time o) {
+    ps_ -= o.ps_;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Time(std::int64_t ps) : ps_{ps} {}
+  std::int64_t ps_{0};
+};
+
+inline std::string Time::to_string() const {
+  if (is_infinite()) return "+inf";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9fs", to_seconds());
+  return buf;
+}
+
+}  // namespace rrtcp::sim

@@ -1,0 +1,4 @@
+#include "sim/timer.hpp"
+
+// Timer is header-only today; this TU anchors the library and is the home
+// for any future out-of-line growth (e.g. timer wheels).

@@ -1,0 +1,57 @@
+// A restartable one-shot timer on top of the Simulator event queue.
+//
+// TCP uses exactly this shape: a retransmission timer that is (re)armed on
+// every transmission and cancelled when the last outstanding byte is ACKed.
+// The callback is fixed at construction; schedule()/cancel() control firing.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/assert.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace rrtcp::sim {
+
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> on_fire)
+      : sim_{sim}, on_fire_{std::move(on_fire)} {
+    RRTCP_ASSERT(static_cast<bool>(on_fire_));
+  }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { cancel(); }
+
+  // Arm (or re-arm) the timer to fire `delay` from now. An already-pending
+  // expiry is cancelled first.
+  void schedule(Time delay) {
+    cancel();
+    expiry_ = sim_.now() + delay;
+    handle_ = sim_.schedule_in(delay, [this] {
+      // The handle is consumed by firing; mark not-pending before invoking
+      // the callback so the callback may re-arm the timer.
+      on_fire_();
+    });
+  }
+
+  // Disarm. No-op if not pending.
+  void cancel() { handle_.cancel(); }
+
+  bool pending() const { return handle_.pending(); }
+
+  // Absolute expiry time of the last schedule() call. Meaningful only while
+  // pending().
+  Time expiry() const { return expiry_; }
+
+ private:
+  Simulator& sim_;
+  std::function<void()> on_fire_;
+  EventHandle handle_;
+  Time expiry_ = Time::zero();
+};
+
+}  // namespace rrtcp::sim

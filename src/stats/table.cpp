@@ -1,0 +1,77 @@
+#include "stats/table.hpp"
+
+#include <cstdarg>
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_{std::move(headers)} {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  RRTCP_ASSERT_MSG(cells.size() == headers_.size(),
+                   "row width != header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::cell(const char* fmt, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::fputs("| ", out);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      std::fprintf(out, "%-*s | ", static_cast<int>(widths[i]),
+                   row[i].c_str());
+    std::fputc('\n', out);
+  };
+  auto print_rule = [&] {
+    std::fputc('+', out);
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) std::fputc('-', out);
+      std::fputc('+', out);
+    }
+    std::fputc('\n', out);
+  };
+
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+void print_series(const std::string& title,
+                  const std::vector<std::string>& column_names,
+                  const std::vector<std::vector<double>>& columns,
+                  std::FILE* out) {
+  RRTCP_ASSERT(!columns.empty());
+  RRTCP_ASSERT(column_names.size() == columns.size());
+  std::fprintf(out, "# %s\n#", title.c_str());
+  for (const auto& n : column_names) std::fprintf(out, " %12s", n.c_str());
+  std::fputc('\n', out);
+  const std::size_t rows = columns[0].size();
+  for (const auto& c : columns) RRTCP_ASSERT(c.size() == rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::fputc(' ', out);
+    for (const auto& c : columns) std::fprintf(out, " %12.5f", c[r]);
+    std::fputc('\n', out);
+  }
+}
+
+}  // namespace rrtcp::stats

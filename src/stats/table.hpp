@@ -1,0 +1,33 @@
+// Plain-text table/series printers for the benchmark harnesses, so every
+// bench binary reports its figure/table in the same aligned format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rrtcp::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+  // Convenience: printf-style cell.
+  static std::string cell(const char* fmt, ...)
+      __attribute__((format(printf, 1, 2)));
+
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints "# <title>" followed by x y1 y2... columns, gnuplot-ready.
+void print_series(const std::string& title,
+                  const std::vector<std::string>& column_names,
+                  const std::vector<std::vector<double>>& columns,
+                  std::FILE* out = stdout);
+
+}  // namespace rrtcp::stats

@@ -1,0 +1,32 @@
+#include "stats/throughput.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::stats {
+
+std::uint64_t ThroughputMeter::bytes_acked_at(sim::Time t) const {
+  // Binary search for the last sample at or before t.
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](sim::Time lhs, const Sample& s) { return lhs < s.t; });
+  if (it == samples_.begin()) return 0;
+  return std::prev(it)->acked;
+}
+
+sim::Time ThroughputMeter::time_to_ack(std::uint64_t bytes) const {
+  // samples_ is time-ordered with monotone acked values.
+  auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), bytes,
+      [](const Sample& s, std::uint64_t b) { return s.acked < b; });
+  return it == samples_.end() ? sim::Time::infinity() : it->t;
+}
+
+double ThroughputMeter::throughput_bps(sim::Time t0, sim::Time t1) const {
+  RRTCP_ASSERT(t1 > t0);
+  const double seconds = (t1 - t0).to_seconds();
+  return static_cast<double>(bytes_acked_between(t0, t1)) * 8.0 / seconds;
+}
+
+}  // namespace rrtcp::stats

@@ -1,0 +1,48 @@
+// Effective-throughput measurement.
+//
+// The paper's metric: "effective throughput, a commonly-used metric for
+// end-to-end protocols" — bytes of new data cumulatively acknowledged per
+// unit time. ThroughputMeter observes a sender's ACK stream and answers
+// windowed queries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "tcp/types.hpp"
+
+namespace rrtcp::stats {
+
+class ThroughputMeter final : public tcp::SenderObserver {
+ public:
+  void on_ack(sim::Time now, std::uint64_t ack, bool dup) override {
+    if (!dup) samples_.push_back({now, ack});
+  }
+
+  // Highest cumulative ACK at or before `t` (0 before the first sample).
+  std::uint64_t bytes_acked_at(sim::Time t) const;
+
+  // New bytes acknowledged in (t0, t1].
+  std::uint64_t bytes_acked_between(sim::Time t0, sim::Time t1) const {
+    return bytes_acked_at(t1) - bytes_acked_at(t0);
+  }
+
+  // Effective throughput over (t0, t1] in bits per second.
+  double throughput_bps(sim::Time t0, sim::Time t1) const;
+
+  // Earliest time at which the cumulative ACK reached `bytes`;
+  // Time::infinity() if it never did.
+  sim::Time time_to_ack(std::uint64_t bytes) const;
+
+  bool empty() const { return samples_.empty(); }
+
+ private:
+  struct Sample {
+    sim::Time t;
+    std::uint64_t acked;
+  };
+  std::vector<Sample> samples_;  // time-ordered, acked monotone
+};
+
+}  // namespace rrtcp::stats

@@ -1,0 +1,68 @@
+#include "stats/tracer.hpp"
+
+#include <algorithm>
+
+namespace rrtcp::stats {
+
+std::uint64_t SeqTracer::acked_packets_at(sim::Time t) const {
+  // acks_ is time-ordered and the cumulative ACK is monotone.
+  std::uint64_t best = 0;
+  for (const auto& a : acks_) {
+    if (a.t > t) break;
+    best = std::max(best, a.ack_pkts);
+  }
+  return best;
+}
+
+std::vector<std::pair<double, std::uint64_t>> SeqTracer::ack_series(
+    sim::Time dt, sim::Time horizon) const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  std::uint64_t best = 0;
+  auto it = acks_.begin();
+  for (sim::Time t = sim::Time::zero(); t <= horizon; t += dt) {
+    while (it != acks_.end() && it->t <= t) {
+      best = std::max(best, it->ack_pkts);
+      ++it;
+    }
+    out.emplace_back(t.to_seconds(), best);
+  }
+  return out;
+}
+
+void PhaseTracer::on_phase(sim::Time now, tcp::TcpPhase p) {
+  if (!intervals_.empty() && intervals_.back().end.is_infinite())
+    intervals_.back().end = now;
+  intervals_.push_back({now, sim::Time::infinity(), p});
+}
+
+sim::Time PhaseTracer::first_recovery_start() const {
+  for (const auto& iv : intervals_)
+    if (is_recovery(iv.phase)) return iv.begin;
+  return sim::Time::infinity();
+}
+
+sim::Time PhaseTracer::last_recovery_end() const {
+  sim::Time end = sim::Time::infinity();
+  bool any = false;
+  for (const auto& iv : intervals_) {
+    if (is_recovery(iv.phase)) {
+      end = iv.end;
+      any = true;
+    }
+  }
+  return any ? end : sim::Time::infinity();
+}
+
+sim::Time PhaseTracer::time_in_recovery(sim::Time horizon) const {
+  sim::Time total = sim::Time::zero();
+  for (const auto& iv : intervals_) {
+    if (!is_recovery(iv.phase)) continue;
+    const sim::Time begin = std::min(iv.begin, horizon);
+    const sim::Time end = std::min(iv.end.is_infinite() ? horizon : iv.end,
+                                   horizon);
+    if (end > begin) total += end - begin;
+  }
+  return total;
+}
+
+}  // namespace rrtcp::stats

@@ -1,0 +1,89 @@
+// Tracing observers for sender-side events.
+//
+// SeqTracer records the (time, packet-number) events behind the paper's
+// "standard TCP sequence number plots" (Figure 6); PhaseTracer records the
+// congestion-control phase timeline used by the recovery-period throughput
+// measurements of Figure 5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "tcp/types.hpp"
+
+namespace rrtcp::stats {
+
+class SeqTracer final : public tcp::SenderObserver {
+ public:
+  // mss converts byte offsets into the packet numbers the paper plots.
+  explicit SeqTracer(std::uint32_t mss) : mss_{mss} {}
+
+  struct SendEvent {
+    sim::Time t;
+    std::uint64_t seq_pkts;
+    bool rtx;
+  };
+  struct AckEvent {
+    sim::Time t;
+    std::uint64_t ack_pkts;
+    bool dup;
+  };
+
+  void on_send(sim::Time now, std::uint64_t seq, std::uint32_t,
+               bool rtx) override {
+    sends_.push_back({now, seq / mss_, rtx});
+  }
+  void on_ack(sim::Time now, std::uint64_t ack, bool dup) override {
+    acks_.push_back({now, ack / mss_, dup});
+  }
+
+  const std::vector<SendEvent>& sends() const { return sends_; }
+  const std::vector<AckEvent>& acks() const { return acks_; }
+
+  // Highest cumulative ACK (packets) at or before `t` — the "delivered so
+  // far" curve of a sequence plot.
+  std::uint64_t acked_packets_at(sim::Time t) const;
+
+  // Sample the cumulative-ACK curve every `dt` over [0, horizon].
+  std::vector<std::pair<double, std::uint64_t>> ack_series(
+      sim::Time dt, sim::Time horizon) const;
+
+ private:
+  std::uint32_t mss_;
+  std::vector<SendEvent> sends_;
+  std::vector<AckEvent> acks_;
+};
+
+class PhaseTracer final : public tcp::SenderObserver {
+ public:
+  struct Interval {
+    sim::Time begin;
+    sim::Time end;  // Time::infinity() while open
+    tcp::TcpPhase phase;
+  };
+
+  void on_phase(sim::Time now, tcp::TcpPhase p) override;
+  void on_timeout(sim::Time now) override { timeouts_.push_back(now); }
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  const std::vector<sim::Time>& timeouts() const { return timeouts_; }
+
+  // First time the sender entered any recovery phase (fast recovery,
+  // RR retreat/probe, or RTO recovery); infinity if it never did.
+  sim::Time first_recovery_start() const;
+  // End of the last recovery interval; infinity if still recovering.
+  sim::Time last_recovery_end() const;
+  // Total time spent in recovery phases up to `horizon`.
+  sim::Time time_in_recovery(sim::Time horizon) const;
+
+ private:
+  static bool is_recovery(tcp::TcpPhase p) {
+    return p == tcp::TcpPhase::kFastRecovery || p == tcp::TcpPhase::kRetreat ||
+           p == tcp::TcpPhase::kProbe || p == tcp::TcpPhase::kRtoRecovery;
+  }
+  std::vector<Interval> intervals_;
+  std::vector<sim::Time> timeouts_;
+};
+
+}  // namespace rrtcp::stats

@@ -1,0 +1,56 @@
+#include "tcp/newreno.hpp"
+
+namespace rrtcp::tcp {
+
+void NewRenoSender::handle_new_ack(const net::TcpHeader& h,
+                                   std::uint64_t newly_acked) {
+  if (in_recovery_) {
+    if (h.ack >= recover_) {
+      // Full ACK: all data outstanding at recovery entry is covered.
+      in_recovery_ = false;
+      set_cwnd(ssthresh_bytes());
+      update_open_phase();
+      send_new_data(cfg_.maxburst);
+      return;
+    }
+    // Partial ACK: retransmit the next hole, deflate, stay in recovery.
+    retransmit(snd_una());
+    std::uint64_t cw = cwnd_bytes();
+    cw = cw > newly_acked ? cw - newly_acked : cfg_.mss;
+    if (newly_acked >= cfg_.mss) cw += cfg_.mss;
+    set_cwnd(cw);
+    send_new_data(1);
+    return;
+  }
+  open_cwnd();
+  send_new_data();
+}
+
+void NewRenoSender::handle_dup_ack(const net::TcpHeader& h) {
+  if (in_recovery_) {
+    set_cwnd(cwnd_bytes() + cfg_.mss);
+    send_new_data(cfg_.maxburst);
+    return;
+  }
+  if (dupacks() != cfg_.dupack_threshold) return;
+  // Avoid a second fast retransmit for the same window of data.
+  if (recover_valid_ && h.ack < recover_) return;
+  count_fast_retransmit();
+  recover_ = max_sent();
+  recover_valid_ = true;
+  halve_ssthresh();
+  retransmit(snd_una());
+  set_cwnd(ssthresh_bytes() + 3 * cfg_.mss);
+  in_recovery_ = true;
+  set_phase(TcpPhase::kFastRecovery);
+}
+
+void NewRenoSender::handle_timeout_cleanup() {
+  in_recovery_ = false;
+  // After a timeout, dup ACKs for data below max_sent() must not trigger
+  // another fast retransmit (RFC 2582, Section 3 step 6).
+  recover_ = max_sent();
+  recover_valid_ = true;
+}
+
+}  // namespace rrtcp::tcp

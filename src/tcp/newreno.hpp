@@ -1,0 +1,39 @@
+// TCP New-Reno (Hoe 1996 / RFC 2582): Reno fast recovery with partial-ACK
+// handling. A partial ACK — one that advances snd_una but not past the
+// `recover` point captured at recovery entry — signals the next hole;
+// New-Reno retransmits it immediately and STAYS in recovery, deflating
+// cwnd by the amount ACKed. One lost segment is recovered per RTT.
+//
+// This is the paper's principal baseline; its weaknesses (the per-RTT
+// exponential decay of new-data transmissions, blindness to losses among
+// packets sent during recovery, and the big-ACK burst at exit) are exactly
+// what Robust Recovery (src/core) repairs.
+#pragma once
+
+#include "tcp/sender_base.hpp"
+
+namespace rrtcp::tcp {
+
+class NewRenoSender final : public TcpSenderBase {
+ public:
+  using TcpSenderBase::TcpSenderBase;
+
+  const char* variant_name() const override { return "newreno"; }
+  bool in_recovery() const { return in_recovery_; }
+  std::uint64_t recover_point() const { return recover_; }
+
+ protected:
+  void handle_new_ack(const net::TcpHeader& h,
+                      std::uint64_t newly_acked) override;
+  void handle_dup_ack(const net::TcpHeader& h) override;
+  void handle_timeout_cleanup() override;
+
+ private:
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;
+  // RFC 2582's "avoid multiple fast retransmits": after a timeout or exit,
+  // dup ACKs below `recover_` must not re-trigger recovery.
+  bool recover_valid_ = false;
+};
+
+}  // namespace rrtcp::tcp

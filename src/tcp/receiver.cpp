@@ -1,0 +1,187 @@
+#include "tcp/receiver.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+#include "sim/log.hpp"
+
+namespace rrtcp::tcp {
+
+TcpReceiver::TcpReceiver(sim::Simulator& sim, net::Node& node,
+                         net::FlowId flow, net::NodeId peer,
+                         ReceiverConfig cfg)
+    : sim_{sim},
+      node_{node},
+      flow_{flow},
+      self_{node.id()},
+      peer_{peer},
+      cfg_{cfg},
+      delack_timer_{sim, [this] {
+                      if (ack_pending_) send_ack(false);
+                    }} {
+  node_.attach_agent(flow_, this);
+}
+
+TcpReceiver::~TcpReceiver() { node_.detach_agent(flow_); }
+
+void TcpReceiver::receive(net::Packet p) {
+  RRTCP_ASSERT_MSG(p.is_data(), "receiver got a non-data packet");
+  ++stats_.data_packets;
+  struct ProgressGuard {
+    TcpReceiver* self;
+    ~ProgressGuard() {
+      const std::uint64_t u = self->unique_bytes();
+      if (u > self->last_unique_) {
+        self->last_unique_ = u;
+        if (self->progress_fn_) self->progress_fn_(self->sim_.now(), u);
+      }
+    }
+  } guard{this};
+  const std::uint64_t seq = p.tcp.seq;
+  const std::uint32_t len = p.tcp.payload;
+  RRTCP_ASSERT(len > 0);
+
+  if (cfg_.ecn_enabled) {
+    if (p.tcp.ce) ece_pending_ = true;
+    if (p.tcp.cwr) ece_pending_ = false;  // sender has reacted
+  }
+
+  if (seq == rcv_nxt_) {
+    deliver_in_order(seq, len);
+    // In-order arrival: eligible for delayed ACK.
+    if (cfg_.delayed_ack && !ack_pending_) {
+      ack_pending_ = true;
+      delack_timer_.schedule(cfg_.delack_timeout);
+    } else {
+      send_ack(false);
+    }
+    check_notify();
+    return;
+  }
+
+  if (seq + len <= rcv_nxt_) {
+    // Entirely old (a spurious retransmission): re-ACK so the sender's
+    // cumulative state converges.
+    ++stats_.duplicates;
+    send_ack(true);
+    return;
+  }
+
+  // Out of order (a hole precedes it). The delayed-ACK mechanism is off for
+  // out-of-sequence data: ACK immediately (Section 2.2).
+  ++stats_.out_of_order;
+  store_out_of_order(seq, len);
+  send_ack(true);
+}
+
+void TcpReceiver::deliver_in_order(std::uint64_t seq, std::uint32_t len) {
+  RRTCP_ASSERT(seq == rcv_nxt_);
+  rcv_nxt_ += len;
+  note_recent_block(seq, rcv_nxt_);
+  // Pull any now-contiguous buffered intervals across.
+  while (!ooo_.empty()) {
+    auto it = ooo_.begin();
+    if (it->first > rcv_nxt_) break;
+    rcv_nxt_ = std::max(rcv_nxt_, it->second);
+    ooo_.erase(it);
+  }
+  // Blocks at or below rcv_nxt_ are no longer reportable as SACK blocks.
+  std::erase_if(recent_blocks_,
+                [this](std::uint64_t b) { return b < rcv_nxt_ || !ooo_.count(b); });
+}
+
+void TcpReceiver::store_out_of_order(std::uint64_t seq, std::uint32_t len) {
+  std::uint64_t begin = seq;
+  std::uint64_t end = seq + len;
+  // Merge with any overlapping or adjacent intervals.
+  auto it = ooo_.lower_bound(begin);
+  if (it != ooo_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {
+      begin = prev->first;
+      end = std::max(end, prev->second);
+      recent_blocks_.erase(
+          std::remove(recent_blocks_.begin(), recent_blocks_.end(),
+                      prev->first),
+          recent_blocks_.end());
+      ooo_.erase(prev);
+    }
+  }
+  while (true) {
+    it = ooo_.lower_bound(begin);
+    if (it == ooo_.end() || it->first > end) break;
+    end = std::max(end, it->second);
+    recent_blocks_.erase(std::remove(recent_blocks_.begin(),
+                                     recent_blocks_.end(), it->first),
+                         recent_blocks_.end());
+    ooo_.erase(it);
+  }
+  ooo_[begin] = end;
+  note_recent_block(begin, end);
+}
+
+void TcpReceiver::note_recent_block(std::uint64_t begin, std::uint64_t end) {
+  (void)end;
+  // Only out-of-order intervals are SACK-reportable; in-order delivery
+  // passes begin < rcv_nxt_ and is filtered in deliver_in_order().
+  recent_blocks_.erase(
+      std::remove(recent_blocks_.begin(), recent_blocks_.end(), begin),
+      recent_blocks_.end());
+  recent_blocks_.push_front(begin);
+  while (recent_blocks_.size() > 8) recent_blocks_.pop_back();
+}
+
+void TcpReceiver::fill_sack_blocks(net::TcpHeader& h) const {
+  h.n_sack = 0;
+  for (std::uint64_t begin : recent_blocks_) {
+    auto it = ooo_.find(begin);
+    if (it == ooo_.end()) continue;
+    h.sack[h.n_sack++] = net::SackBlock{it->first, it->second};
+    if (h.n_sack == net::kMaxSackBlocks) break;
+  }
+}
+
+void TcpReceiver::send_ack(bool duplicate) {
+  ack_pending_ = false;
+  delack_timer_.cancel();
+
+  net::Packet ack;
+  ack.uid = net::next_packet_uid();
+  ack.flow = flow_;
+  ack.src = self_;
+  ack.dst = peer_;
+  ack.type = net::PacketType::kAck;
+  ack.size_bytes = cfg_.ack_bytes;
+  ack.tcp.ack = rcv_nxt_;
+  ack.tcp.ece = ece_pending_;
+  if (cfg_.sack_enabled) fill_sack_blocks(ack.tcp);
+  ++stats_.acks_sent;
+  if (duplicate) ++stats_.dupacks_sent;
+  RRTCP_TRACE(sim_.now(), "tcp-rcv", "flow=%u ack=%llu dup=%d nsack=%d",
+              flow_, static_cast<unsigned long long>(rcv_nxt_), duplicate,
+              ack.tcp.n_sack);
+  node_.inject(std::move(ack));
+}
+
+std::uint64_t TcpReceiver::buffered_out_of_order() const {
+  std::uint64_t total = 0;
+  for (const auto& [b, e] : ooo_) total += e - b;
+  return total;
+}
+
+void TcpReceiver::notify_at(std::uint64_t bytes,
+                            std::function<void(sim::Time)> fn) {
+  notify_bytes_ = bytes;
+  notify_fn_ = std::move(fn);
+  check_notify();
+}
+
+void TcpReceiver::check_notify() {
+  if (notify_fn_ && rcv_nxt_ >= notify_bytes_) {
+    auto fn = std::move(notify_fn_);
+    notify_fn_ = nullptr;
+    fn(sim_.now());
+  }
+}
+
+}  // namespace rrtcp::tcp

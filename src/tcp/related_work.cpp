@@ -1,0 +1,113 @@
+#include "tcp/related_work.hpp"
+
+namespace rrtcp::tcp {
+
+// ---------------------------------------------------------------------------
+// Right-edge recovery: New-Reno control flow, but each dup ACK during
+// recovery clocks out one new segment directly (no reliance on cwnd
+// inflation crossing the flight size).
+
+void RightEdgeSender::handle_new_ack(const net::TcpHeader& h,
+                                     std::uint64_t newly_acked) {
+  if (in_recovery_) {
+    if (h.ack >= recover_) {
+      in_recovery_ = false;
+      set_cwnd(ssthresh_bytes());
+      update_open_phase();
+      send_new_data(cfg_.maxburst);
+      return;
+    }
+    // Partial ACK: repair the next hole, stay in recovery.
+    retransmit(snd_una());
+    std::uint64_t cw = cwnd_bytes();
+    cw = cw > newly_acked ? cw - newly_acked : cfg_.mss;
+    if (newly_acked >= cfg_.mss) cw += cfg_.mss;
+    set_cwnd(cw);
+    return;
+  }
+  open_cwnd();
+  send_new_data();
+}
+
+void RightEdgeSender::handle_dup_ack(const net::TcpHeader& h) {
+  if (in_recovery_) {
+    // The right edge advances on every dup ACK.
+    set_cwnd(cwnd_bytes() + cfg_.mss);
+    send_one_new_segment();
+    return;
+  }
+  if (dupacks() != cfg_.dupack_threshold) return;
+  if (recover_valid_ && h.ack < recover_) return;
+  count_fast_retransmit();
+  recover_ = max_sent();
+  recover_valid_ = true;
+  halve_ssthresh();
+  retransmit(snd_una());
+  set_cwnd(ssthresh_bytes() + 3 * cfg_.mss);
+  in_recovery_ = true;
+  set_phase(TcpPhase::kFastRecovery);
+}
+
+void RightEdgeSender::handle_timeout_cleanup() {
+  in_recovery_ = false;
+  recover_ = max_sent();
+  recover_valid_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Lin-Kung: New-Reno plus "a new data packet upon each arrival of the
+// first two duplicate ACKs" — pre-recovery aggressiveness retention.
+
+void LinKungSender::handle_new_ack(const net::TcpHeader& h,
+                                   std::uint64_t newly_acked) {
+  if (in_recovery_) {
+    if (h.ack >= recover_) {
+      in_recovery_ = false;
+      set_cwnd(ssthresh_bytes());
+      update_open_phase();
+      send_new_data(cfg_.maxburst);
+      return;
+    }
+    retransmit(snd_una());
+    std::uint64_t cw = cwnd_bytes();
+    cw = cw > newly_acked ? cw - newly_acked : cfg_.mss;
+    if (newly_acked >= cfg_.mss) cw += cfg_.mss;
+    set_cwnd(cw);
+    send_new_data(1);
+    return;
+  }
+  open_cwnd();
+  send_new_data();
+}
+
+void LinKungSender::handle_dup_ack(const net::TcpHeader& h) {
+  if (in_recovery_) {
+    set_cwnd(cwnd_bytes() + cfg_.mss);
+    send_new_data(cfg_.maxburst);
+    return;
+  }
+  if (dupacks() < cfg_.dupack_threshold) {
+    // The Lin-Kung refinement: the 1st and 2nd dup ACK each release one
+    // new packet — if this was mere reordering, no throughput was lost.
+    send_one_new_segment();
+    return;
+  }
+  if (dupacks() != cfg_.dupack_threshold) return;
+  if (recover_valid_ && h.ack < recover_) return;
+  count_fast_retransmit();
+  recover_ = max_sent();
+  recover_valid_ = true;
+  halve_ssthresh();
+  retransmit(snd_una());
+  set_cwnd(ssthresh_bytes() + 3 * cfg_.mss);
+  in_recovery_ = true;
+  set_phase(TcpPhase::kFastRecovery);
+}
+
+void LinKungSender::handle_timeout_cleanup() {
+  in_recovery_ = false;
+  recover_ = max_sent();
+  recover_valid_ = true;
+}
+
+}  // namespace rrtcp::tcp

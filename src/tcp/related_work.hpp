@@ -1,0 +1,67 @@
+// Related-work recovery schemes discussed in the paper's introduction —
+// the proposals RR positions itself against:
+//
+// * RIGHT-EDGE RECOVERY (Balakrishnan et al., "TCP Behavior of a Busy
+//   Internet Server", INFOCOM'98): during fast recovery, "one new data
+//   packet is sent out upon receipt of EACH duplicate ACK, instead of two
+//   duplicate ACKs" — keeps the ACK clock alive under tiny windows, but
+//   (the paper's critique) does not reduce aggressiveness when congestion
+//   has just been signalled, and cannot detect losses of the new packets
+//   it sends during recovery.
+//
+// * LIN-KUNG RECOVERY (Lin & Kung, "TCP Fast Recovery Strategies",
+//   INFOCOM'98): "a new data packet be generated upon each arrival of the
+//   first two duplicate ACKs" — i.e. even BEFORE fast retransmit fires,
+//   the first two dup ACKs each clock out one new packet, retaining TCP's
+//   aggressiveness when the dup ACKs stem from reordering rather than
+//   loss. The paper's critique: when they do stem from loss, these
+//   packets "add more fuel to the fire" at the congested bottleneck.
+//
+// Both are implemented as deltas on New-Reno (their published base), so
+// the comparison isolates exactly the recovery-transmission policy.
+#pragma once
+
+#include "tcp/newreno.hpp"
+#include "tcp/sender_base.hpp"
+
+namespace rrtcp::tcp {
+
+class RightEdgeSender final : public TcpSenderBase {
+ public:
+  using TcpSenderBase::TcpSenderBase;
+
+  const char* variant_name() const override { return "rightedge"; }
+  bool in_recovery() const { return in_recovery_; }
+
+ protected:
+  void handle_new_ack(const net::TcpHeader& h,
+                      std::uint64_t newly_acked) override;
+  void handle_dup_ack(const net::TcpHeader& h) override;
+  void handle_timeout_cleanup() override;
+
+ private:
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;
+  bool recover_valid_ = false;
+};
+
+class LinKungSender final : public TcpSenderBase {
+ public:
+  using TcpSenderBase::TcpSenderBase;
+
+  const char* variant_name() const override { return "linkung"; }
+  bool in_recovery() const { return in_recovery_; }
+
+ protected:
+  void handle_new_ack(const net::TcpHeader& h,
+                      std::uint64_t newly_acked) override;
+  void handle_dup_ack(const net::TcpHeader& h) override;
+  void handle_timeout_cleanup() override;
+
+ private:
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;
+  bool recover_valid_ = false;
+};
+
+}  // namespace rrtcp::tcp

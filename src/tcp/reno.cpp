@@ -1,0 +1,34 @@
+#include "tcp/reno.hpp"
+
+namespace rrtcp::tcp {
+
+void RenoSender::handle_new_ack(const net::TcpHeader&, std::uint64_t) {
+  if (in_recovery_) {
+    // Deflate: any new ACK ends Reno's recovery.
+    in_recovery_ = false;
+    set_cwnd(ssthresh_bytes());
+    update_open_phase();
+    send_new_data(cfg_.maxburst);
+    return;
+  }
+  open_cwnd();
+  send_new_data();
+}
+
+void RenoSender::handle_dup_ack(const net::TcpHeader&) {
+  if (in_recovery_) {
+    // Window inflation: each dup ACK signals one packet has left the pipe.
+    set_cwnd(cwnd_bytes() + cfg_.mss);
+    send_new_data(cfg_.maxburst);
+    return;
+  }
+  if (dupacks() != cfg_.dupack_threshold) return;
+  count_fast_retransmit();
+  halve_ssthresh();
+  retransmit(snd_una());
+  set_cwnd(ssthresh_bytes() + 3 * cfg_.mss);
+  in_recovery_ = true;
+  set_phase(TcpPhase::kFastRecovery);
+}
+
+}  // namespace rrtcp::tcp

@@ -1,0 +1,32 @@
+// TCP Reno (Jacobson 1990): fast retransmit + fast recovery.
+//
+// On the third duplicate ACK: halve ssthresh, retransmit the first lost
+// segment, and inflate cwnd by one MSS per further duplicate ACK so that
+// new data keeps flowing. ANY new ACK deflates cwnd to ssthresh and exits
+// recovery — which is exactly why Reno handles bursty losses poorly: each
+// loss in a window re-triggers the whole dance (halving again) or, worse,
+// strands the connection until a coarse timeout.
+#pragma once
+
+#include "tcp/sender_base.hpp"
+
+namespace rrtcp::tcp {
+
+class RenoSender final : public TcpSenderBase {
+ public:
+  using TcpSenderBase::TcpSenderBase;
+
+  const char* variant_name() const override { return "reno"; }
+  bool in_recovery() const { return in_recovery_; }
+
+ protected:
+  void handle_new_ack(const net::TcpHeader& h,
+                      std::uint64_t newly_acked) override;
+  void handle_dup_ack(const net::TcpHeader& h) override;
+  void handle_timeout_cleanup() override { in_recovery_ = false; }
+
+ private:
+  bool in_recovery_ = false;
+};
+
+}  // namespace rrtcp::tcp

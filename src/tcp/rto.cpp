@@ -1,0 +1,71 @@
+#include "tcp/rto.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::tcp {
+
+const char* to_string(TcpPhase p) {
+  switch (p) {
+    case TcpPhase::kSlowStart:
+      return "slow-start";
+    case TcpPhase::kCongestionAvoidance:
+      return "congestion-avoidance";
+    case TcpPhase::kFastRecovery:
+      return "fast-recovery";
+    case TcpPhase::kRetreat:
+      return "rr-retreat";
+    case TcpPhase::kProbe:
+      return "rr-probe";
+    case TcpPhase::kRtoRecovery:
+      return "rto-recovery";
+  }
+  return "?";
+}
+
+RtoEstimator::RtoEstimator(const TcpConfig& cfg)
+    : min_rto_{cfg.min_rto},
+      max_rto_{cfg.max_rto},
+      initial_rto_{cfg.initial_rto},
+      granularity_{cfg.rto_granularity} {
+  RRTCP_ASSERT(min_rto_ > sim::Time::zero());
+  RRTCP_ASSERT(max_rto_ >= min_rto_);
+}
+
+void RtoEstimator::sample(sim::Time rtt) {
+  RRTCP_ASSERT(rtt >= sim::Time::zero());
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+  } else {
+    // RFC 6298 with the classic gains: alpha=1/8, beta=1/4, in integer
+    // picosecond arithmetic.
+    const sim::Time err = rtt >= srtt_ ? rtt - srtt_ : srtt_ - rtt;
+    rttvar_ = (rttvar_ * 3) / 4 + err / 4;
+    srtt_ = (srtt_ * 7) / 8 + rtt / 8;
+  }
+  backoff_ = 0;
+}
+
+sim::Time RtoEstimator::rto() const {
+  sim::Time base = has_sample_ ? srtt_ + 4 * rttvar_ : initial_rto_;
+  for (int i = 0; i < backoff_; ++i) {
+    base = base * 2;
+    if (base >= max_rto_) return max_rto_;
+  }
+  // Round *up* to the timer granularity: a coarse timer cannot fire early.
+  if (granularity_ > sim::Time::zero()) {
+    const std::int64_t g = granularity_.ps();
+    const std::int64_t rounded = (base.ps() + g - 1) / g * g;
+    base = sim::Time::picoseconds(rounded);
+  }
+  return std::clamp(base, min_rto_, max_rto_);
+}
+
+void RtoEstimator::backoff() {
+  if (backoff_ < 62) ++backoff_;  // avoid useless shifting past max_rto
+}
+
+}  // namespace rrtcp::tcp

@@ -1,0 +1,44 @@
+// Retransmission-timeout estimation: Jacobson/Karels smoothed RTT with
+// Karn's rule applied by the caller (retransmitted segments are never
+// sampled), exponential back-off, and coarse-grained rounding that models
+// the 500 ms BSD timer ticks of the paper's era.
+#pragma once
+
+#include "sim/time.hpp"
+#include "tcp/types.hpp"
+
+namespace rrtcp::tcp {
+
+class RtoEstimator {
+ public:
+  explicit RtoEstimator(const TcpConfig& cfg);
+
+  // Feed one round-trip time measurement (from a non-retransmitted
+  // segment). Resets any exponential back-off.
+  void sample(sim::Time rtt);
+
+  // Current timeout value: srtt + 4*rttvar, backed off, rounded up to the
+  // timer granularity and clamped to [min_rto, max_rto].
+  sim::Time rto() const;
+
+  // Double the timeout (called on each retransmission timeout).
+  void backoff();
+
+  bool has_samples() const { return has_sample_; }
+  sim::Time srtt() const { return srtt_; }
+  sim::Time rttvar() const { return rttvar_; }
+  int backoff_count() const { return backoff_; }
+
+ private:
+  sim::Time min_rto_;
+  sim::Time max_rto_;
+  sim::Time initial_rto_;
+  sim::Time granularity_;
+
+  sim::Time srtt_ = sim::Time::zero();
+  sim::Time rttvar_ = sim::Time::zero();
+  bool has_sample_ = false;
+  int backoff_ = 0;
+};
+
+}  // namespace rrtcp::tcp

@@ -1,0 +1,102 @@
+#include "tcp/sack.hpp"
+
+#include <algorithm>
+
+namespace rrtcp::tcp {
+
+void SackSender::update_pipe() {
+  pipe_ = board_.pipe_packets(snd_una(), max_sent(), cfg_.mss,
+                              cfg_.dupack_threshold);
+}
+
+void SackSender::handle_new_ack(const net::TcpHeader& h,
+                                std::uint64_t newly_acked) {
+  board_.update(h, snd_una());
+  if (in_recovery_) {
+    if (h.ack >= recover_) {
+      // Full ACK: recovery done.
+      in_recovery_ = false;
+      pipe_ = 0;
+      board_.reset();
+      set_cwnd(ssthresh_bytes());
+      update_open_phase();
+      send_new_data(cfg_.maxburst);
+      return;
+    }
+    // Partial ACK: recompute the pipe from the scoreboard and keep
+    // repairing.
+    update_pipe();
+    send_from_scoreboard();
+    return;
+  }
+  (void)newly_acked;
+  open_cwnd();
+  send_new_data();
+}
+
+void SackSender::handle_dup_ack(const net::TcpHeader& h) {
+  board_.update(h, snd_una());
+  if (in_recovery_) {
+    update_pipe();
+    send_from_scoreboard();
+    return;
+  }
+  if (dupacks() != cfg_.dupack_threshold) return;
+  if (recover_valid_ && h.ack < recover_) return;
+  enter_recovery();
+}
+
+void SackSender::enter_recovery() {
+  count_fast_retransmit();
+  recover_ = max_sent();
+  recover_valid_ = true;
+  halve_ssthresh();
+  set_cwnd(ssthresh_bytes());
+  in_recovery_ = true;
+  set_phase(TcpPhase::kFastRecovery);
+  // The first lost segment is retransmitted unconditionally (it is what
+  // the three dup ACKs point at); pipe gating applies only afterwards.
+  retransmit(snd_una());
+  board_.mark_retransmitted(snd_una());
+  update_pipe();
+  send_from_scoreboard();
+}
+
+void SackSender::send_from_scoreboard() {
+  // RFC 3517 transmission rules, in packets: while the pipe estimate is
+  // below cwnd, send (1) holes the scoreboard deems lost, then (2) new
+  // data, then (3) not-yet-lost holes below the SACK frontier as a lax
+  // fallback; at most maxburst packets per incoming ACK.
+  const long cwnd_pkts = static_cast<long>(cwnd_bytes() / cfg_.mss);
+  int burst = 0;
+  while (pipe_ < cwnd_pkts && burst < cfg_.maxburst) {
+    if (auto hole = board_.next_hole(snd_una(), cfg_.mss,
+                                     cfg_.dupack_threshold,
+                                     /*require_lost=*/true)) {
+      retransmit(*hole);
+      board_.mark_retransmitted(*hole);
+    } else if (app_data_available() &&
+               flight_bytes() < max_window_bytes()) {
+      if (!send_one_new_segment()) break;
+    } else if (auto lax = board_.next_hole(snd_una(), cfg_.mss,
+                                           cfg_.dupack_threshold,
+                                           /*require_lost=*/false)) {
+      retransmit(*lax);
+      board_.mark_retransmitted(*lax);
+    } else {
+      break;
+    }
+    ++pipe_;
+    ++burst;
+  }
+}
+
+void SackSender::handle_timeout_cleanup() {
+  in_recovery_ = false;
+  pipe_ = 0;
+  board_.reset();
+  recover_ = max_sent();
+  recover_valid_ = true;
+}
+
+}  // namespace rrtcp::tcp

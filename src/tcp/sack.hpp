@@ -1,0 +1,48 @@
+// SACK TCP sender ("sack1" in Fall & Floyd 1996 / the conservative pipe
+// algorithm later standardized as RFC 3517).
+//
+// Fast recovery is entered exactly as in Reno, but during recovery the
+// sender maintains `pipe` — its estimate of packets currently in the path
+// — and transmits (hole retransmissions first, then new data) whenever
+// pipe < cwnd. SACK blocks from the receiver tell it precisely which
+// segments are holes. Note the paper's critique: pipe only *passively*
+// estimates in-flight data while cwnd keeps control; RR's actnum both
+// measures and controls.
+#pragma once
+
+#include "tcp/scoreboard.hpp"
+#include "tcp/sender_base.hpp"
+
+namespace rrtcp::tcp {
+
+class SackSender final : public TcpSenderBase {
+ public:
+  using TcpSenderBase::TcpSenderBase;
+
+  const char* variant_name() const override { return "sack"; }
+  bool in_recovery() const { return in_recovery_; }
+  long pipe_packets() const { return pipe_; }
+  const Scoreboard& scoreboard() const { return board_; }
+
+ protected:
+  void handle_new_ack(const net::TcpHeader& h,
+                      std::uint64_t newly_acked) override;
+  void handle_dup_ack(const net::TcpHeader& h) override;
+  void handle_timeout_cleanup() override;
+
+ private:
+  void enter_recovery();
+  // Recompute the pipe estimate from the scoreboard (RFC 3517 SetPipe).
+  void update_pipe();
+  // Send while pipe < cwnd: scoreboard holes first, then new data; at most
+  // `maxburst` packets per incoming ACK.
+  void send_from_scoreboard();
+
+  Scoreboard board_;
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;
+  bool recover_valid_ = false;
+  long pipe_ = 0;  // packets
+};
+
+}  // namespace rrtcp::tcp

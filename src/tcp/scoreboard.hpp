@@ -1,0 +1,74 @@
+// SACK scoreboard (RFC 2018 sender-side bookkeeping).
+//
+// Tracks which byte ranges above snd_una the receiver has reported via
+// SACK blocks, and which holes have already been retransmitted in the
+// current recovery episode. The sender asks for the next hole to repair
+// and for pipe-estimation inputs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "net/packet.hpp"
+
+namespace rrtcp::tcp {
+
+class Scoreboard {
+ public:
+  // Fold the SACK blocks of one ACK into the board and drop state below
+  // the cumulative ACK point.
+  void update(const net::TcpHeader& h, std::uint64_t snd_una);
+
+  // Forget everything (recovery exit or timeout).
+  void reset();
+
+  bool is_sacked(std::uint64_t seq) const;
+
+  // Highest byte offset (exclusive) covered by any SACK block, or 0.
+  std::uint64_t highest_sacked() const { return highest_sacked_; }
+
+  // Bytes SACKed strictly above `seq`.
+  std::uint64_t sacked_bytes_above(std::uint64_t seq) const;
+
+  // RFC 3517 IsLost: at least dupthresh * mss bytes above `seq` have been
+  // SACKed — strong evidence the segment at `seq` is gone, not reordered.
+  bool is_lost(std::uint64_t seq, std::uint32_t mss, int dupthresh) const {
+    return sacked_bytes_above(seq) >=
+           static_cast<std::uint64_t>(dupthresh) * mss;
+  }
+
+  // RFC 3517 SetPipe, in packets: segments in [una, nxt) that are neither
+  // SACKed nor deemed lost are in flight; a retransmission adds its
+  // segment back.
+  long pipe_packets(std::uint64_t una, std::uint64_t nxt, std::uint32_t mss,
+                    int dupthresh) const;
+
+  // The next hole to retransmit: the lowest segment starting at or above
+  // `from` that is (a) not SACKed, (b) not already retransmitted this
+  // episode, and (c) deemed lost per is_lost() when `require_lost` —
+  // otherwise merely below highest_sacked() (the lax fallback used when
+  // no new data is available). Segments are `mss`-strided from `from`.
+  std::optional<std::uint64_t> next_hole(std::uint64_t from,
+                                         std::uint32_t mss, int dupthresh,
+                                         bool require_lost = true) const;
+
+  // Record that the segment at `seq` was retransmitted.
+  void mark_retransmitted(std::uint64_t seq) { rtx_.insert(seq); }
+  bool was_retransmitted(std::uint64_t seq) const { return rtx_.count(seq) > 0; }
+
+  // Total SACKed bytes above `snd_una` (dormant data, in the paper's
+  // vocabulary — delivered but unacknowledged cumulatively).
+  std::uint64_t sacked_bytes() const;
+
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  // Non-overlapping SACKed intervals [begin, end).
+  std::map<std::uint64_t, std::uint64_t> blocks_;
+  std::set<std::uint64_t> rtx_;
+  std::uint64_t highest_sacked_ = 0;
+};
+
+}  // namespace rrtcp::tcp

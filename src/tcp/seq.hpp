@@ -1,0 +1,57 @@
+// Wrap-aware 32-bit TCP sequence-number arithmetic (RFC 793 / RFC 1982).
+//
+// The simulator itself uses 64-bit byte offsets that never wrap (see
+// net/packet.hpp), but a production TCP must compare 32-bit sequence
+// numbers modulo 2^32. This header provides that arithmetic as a strong
+// type so the comparison rules are encoded once and tested exhaustively —
+// it is the bridge a real deployment of RR would use.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace rrtcp::tcp {
+
+class Seq32 {
+ public:
+  constexpr Seq32() = default;
+  explicit constexpr Seq32(std::uint32_t v) : v_{v} {}
+
+  constexpr std::uint32_t raw() const { return v_; }
+
+  // a < b  iff  0 < (b - a) < 2^31 in modular arithmetic.
+  friend constexpr bool operator<(Seq32 a, Seq32 b) {
+    return static_cast<std::int32_t>(a.v_ - b.v_) < 0;
+  }
+  friend constexpr bool operator>(Seq32 a, Seq32 b) { return b < a; }
+  friend constexpr bool operator<=(Seq32 a, Seq32 b) { return !(b < a); }
+  friend constexpr bool operator>=(Seq32 a, Seq32 b) { return !(a < b); }
+  friend constexpr bool operator==(Seq32 a, Seq32 b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Seq32 a, Seq32 b) { return a.v_ != b.v_; }
+
+  friend constexpr Seq32 operator+(Seq32 a, std::uint32_t n) {
+    return Seq32{a.v_ + n};
+  }
+  friend constexpr Seq32 operator-(Seq32 a, std::uint32_t n) {
+    return Seq32{a.v_ - n};
+  }
+  // Signed distance from b to a; well-defined while |distance| < 2^31.
+  friend constexpr std::int32_t operator-(Seq32 a, Seq32 b) {
+    return static_cast<std::int32_t>(a.v_ - b.v_);
+  }
+
+  constexpr Seq32& operator+=(std::uint32_t n) {
+    v_ += n;
+    return *this;
+  }
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+// True if s is in the half-open window [lo, lo+len) modulo 2^32.
+constexpr bool in_window(Seq32 s, Seq32 lo, std::uint32_t len) {
+  return static_cast<std::uint32_t>(s - lo) < len;
+}
+
+}  // namespace rrtcp::tcp

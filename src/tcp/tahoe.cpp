@@ -1,0 +1,23 @@
+#include "tcp/tahoe.hpp"
+
+namespace rrtcp::tcp {
+
+void TahoeSender::handle_new_ack(const net::TcpHeader&, std::uint64_t) {
+  open_cwnd();
+  send_new_data();
+}
+
+void TahoeSender::handle_dup_ack(const net::TcpHeader&) {
+  if (dupacks() != cfg_.dupack_threshold) return;
+  count_fast_retransmit();
+  halve_ssthresh();
+  set_cwnd(cfg_.mss);
+  set_phase(TcpPhase::kSlowStart);
+  // Tahoe restarts transmission from the loss point; the retransmission of
+  // the first lost segment is simply the first packet of the new slow
+  // start (go-back-N).
+  rollback_snd_nxt();
+  send_new_data();
+}
+
+}  // namespace rrtcp::tcp

@@ -1,0 +1,26 @@
+// TCP Tahoe (Jacobson 1988): slow start + congestion avoidance + fast
+// retransmit. No fast recovery — the third duplicate ACK is treated like a
+// timeout: ssthresh is halved, cwnd collapses to one segment, and the
+// sender slow-starts from snd_una (go-back-N). Wasteful after a single
+// loss, but — as the paper observes — more robust than New-Reno under
+// heavy bursty loss because slow-start resends the whole suffix instead of
+// fishing out one hole per RTT.
+#pragma once
+
+#include "tcp/sender_base.hpp"
+
+namespace rrtcp::tcp {
+
+class TahoeSender final : public TcpSenderBase {
+ public:
+  using TcpSenderBase::TcpSenderBase;
+
+  const char* variant_name() const override { return "tahoe"; }
+
+ protected:
+  void handle_new_ack(const net::TcpHeader& h,
+                      std::uint64_t newly_acked) override;
+  void handle_dup_ack(const net::TcpHeader& h) override;
+};
+
+}  // namespace rrtcp::tcp

@@ -1,0 +1,116 @@
+// Shared TCP types: configuration, phases, statistics, observer hooks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/time.hpp"
+
+namespace rrtcp::tcp {
+
+// Congestion-control phase of a sender, exposed for tracing and tests.
+// kRetreat/kProbe are specific to Robust Recovery (the paper's Section 2.2
+// sub-phases); the others are common to all variants.
+enum class TcpPhase : std::uint8_t {
+  kSlowStart,
+  kCongestionAvoidance,
+  kFastRecovery,   // Reno / New-Reno / SACK recovery
+  kRetreat,        // RR: first RTT, exponential back-off
+  kProbe,          // RR: linear probing while recovering
+  kRtoRecovery,    // slow start following a retransmission timeout
+};
+
+const char* to_string(TcpPhase p);
+
+struct TcpConfig {
+  // Segment sizing. The paper counts fixed 1000-byte data packets and
+  // 40-byte ACKs; we treat `mss` as the on-wire data packet size.
+  std::uint32_t mss = 1000;
+  std::uint32_t ack_bytes = 40;
+
+  std::uint64_t init_cwnd_pkts = 1;
+  std::uint64_t init_ssthresh_pkts = 64;
+  std::uint64_t max_window_pkts = 128;  // receiver advertised window
+
+  int dupack_threshold = 3;
+
+  // Smooth-Start (in the spirit of the paper's reference [21], Wang, Xin,
+  // Reeves & Shin, ISCC 2000): slow start's per-ACK doubling becomes
+  // increasingly bursty as cwnd approaches ssthresh — the very overshoot
+  // that creates the bursty in-window losses RR then has to repair. With
+  // this knob, once cwnd passes ssthresh/2 the growth rate halves (one
+  // MSS per two ACKs), easing into congestion avoidance instead of
+  // slamming into the queue. Orthogonal to the recovery scheme, exactly
+  // as the paper positions it.
+  bool smooth_start = false;
+
+  // ECN (RFC 3168): send ECN-capable data, respond to ECE echoes with a
+  // once-per-window multiplicative decrease (no retransmission), and
+  // signal CWR back. Both endpoints' flags are set by the flow factory
+  // from this value. Off by default — the paper predates deployed ECN.
+  bool ecn_enabled = false;
+
+  // Limit on packets released by one incoming ACK outside of slow start
+  // (New-Reno / SACK "maxburst"; Section 2.2.3 discusses its weaknesses —
+  // RR does not need it but the baselines do).
+  int maxburst = 4;
+
+  // RTO behavior: coarse timers as in the paper's era (BSD 500 ms ticks,
+  // 1 s minimum) so that "a coarse timeout follows" is faithfully costly.
+  sim::Time min_rto = sim::Time::seconds(1.0);
+  sim::Time max_rto = sim::Time::seconds(64.0);
+  sim::Time initial_rto = sim::Time::seconds(3.0);
+  sim::Time rto_granularity = sim::Time::milliseconds(500);
+
+  // Robust Recovery hardening knobs (see the implementation notes in
+  // core/rr_sender.cpp; the ablation bench flips these):
+  //
+  // When true (implementation note 1 in core/rr_sender.cpp), the extra
+  // probe packet of a clean recovery-RTT boundary is serialized BEFORE the
+  // hole retransmission so its dup ACK is counted in the closing RTT.
+  // When false, the retransmission goes first — the naive order, whose
+  // systematic ndup undercount makes the further-loss detector fire every
+  // RTT and triggers retransmission storms after exit extensions.
+  bool rr_probe_packet_first = true;
+  // When true, retransmissions for holes above the ORIGINAL exit point are
+  // limited to the measured further-loss count (actnum - ndup deficits);
+  // when false, every probe-RTT boundary retransmits unconditionally —
+  // the paper's literal reading, which resends in-flight data whenever
+  // recover_ has been extended past hole-free territory.
+  bool rr_budget_rtx = true;
+  // Rescue retransmission (analogous to RFC 6675's rescue rule): if the
+  // hole retransmitted at the last recovery-RTT boundary is still unACKed
+  // after a full self-clocked RTT's worth of duplicate ACKs (expected
+  // deliveries + dupack_threshold), retransmit it once more. Repairs a
+  // LOST RETRANSMISSION without the coarse timeout the paper resigns
+  // itself to; also covers holes the retransmission budget missed.
+  bool rr_rescue_rtx = true;
+};
+
+struct SenderStats {
+  std::uint64_t data_packets_sent = 0;   // first transmissions
+  std::uint64_t retransmissions = 0;
+  std::uint64_t fast_retransmits = 0;    // recovery episodes entered
+  std::uint64_t timeouts = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t dupacks_received = 0;
+  std::uint64_t bytes_acked = 0;
+  std::uint64_t rtt_samples = 0;
+  std::uint64_t ecn_reductions = 0;  // once-per-window ECE responses
+};
+
+// Observer for sender-side events; used by tracers, tests and examples.
+// All methods have empty defaults so observers override only what they use.
+class SenderObserver {
+ public:
+  virtual ~SenderObserver() = default;
+  virtual void on_send(sim::Time /*now*/, std::uint64_t /*seq*/,
+                       std::uint32_t /*len*/, bool /*retransmission*/) {}
+  virtual void on_ack(sim::Time /*now*/, std::uint64_t /*ack*/,
+                      bool /*duplicate*/) {}
+  virtual void on_phase(sim::Time /*now*/, TcpPhase /*phase*/) {}
+  virtual void on_timeout(sim::Time /*now*/) {}
+  virtual void on_cwnd(sim::Time /*now*/, double /*cwnd_packets*/) {}
+};
+
+}  // namespace rrtcp::tcp

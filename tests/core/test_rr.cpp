@@ -1,0 +1,288 @@
+// State-machine tests for Robust Recovery — the paper's algorithm
+// (Section 2, Figures 1-3). Each test hand-drives an ACK stream that
+// corresponds to a concrete loss scenario and pins the transitions the
+// paper specifies.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "core/rr_sender.hpp"
+
+namespace rrtcp::core {
+namespace {
+
+using tcp::TcpPhase;
+using test::SenderHarness;
+
+tcp::TcpConfig cwnd(std::uint64_t pkts) {
+  tcp::TcpConfig cfg;
+  cfg.init_cwnd_pkts = pkts;
+  return cfg;
+}
+
+// Common setup: window of 10 packets all in flight, then 3 dup ACKs as if
+// segment 0 was lost and 1..3 arrived.
+struct RrFixture : ::testing::Test {
+  RrFixture() : h{cwnd(10)} {
+    h.sender().start();
+    EXPECT_EQ(h.wire.data().size(), 10u);
+  }
+  SenderHarness<RrSender> h;
+};
+
+TEST_F(RrFixture, EntryLeavesCwndUntouched) {
+  h.wire.clear();
+  h.dupacks(3);
+  EXPECT_TRUE(h.sender().in_retreat());
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kRetreat);
+  // The defining difference from Reno/New-Reno: cwnd is NOT the controller
+  // during recovery and stays at its pre-loss value.
+  EXPECT_EQ(h.sender().cwnd_bytes(), 10'000u);
+  EXPECT_EQ(h.sender().ssthresh_bytes(), 5000u);  // win * 1/2
+  EXPECT_EQ(h.sender().recover_point(), 10'000u); // maxseq at entry
+  EXPECT_EQ(h.sender().actnum(), 0);              // zero through retreat
+  EXPECT_EQ(h.sent_seqs(), (std::vector<std::uint64_t>{0}));  // first rtx
+}
+
+TEST_F(RrFixture, TwoDupAcksDoNotTrigger) {
+  h.wire.clear();
+  h.dupacks(2);
+  EXPECT_FALSE(h.sender().in_recovery());
+  EXPECT_TRUE(h.wire.packets.empty());
+}
+
+TEST_F(RrFixture, RetreatSendsOneNewPacketPerTwoDupAcks) {
+  h.dupacks(3);
+  h.wire.clear();
+  // Five more dup ACKs arrive in the retreat RTT (segments 5..9 delivered
+  // while 0 and 4 were lost): new data goes out on the 2nd and 4th.
+  h.dupacks(5);
+  EXPECT_EQ(h.sent_seqs(), (std::vector<std::uint64_t>{10'000, 11'000}));
+  EXPECT_EQ(h.sender().ndup(), 5);
+  EXPECT_EQ(h.sender().actnum(), 0);
+  EXPECT_TRUE(h.sender().in_retreat());
+}
+
+TEST_F(RrFixture, FirstPartialAckStartsProbeWithMeasuredActnum) {
+  h.dupacks(3);
+  h.dupacks(5);  // 2 new packets sent during retreat
+  h.wire.clear();
+  h.ack(4000);  // first partial ACK: hole at 4000
+  EXPECT_TRUE(h.sender().in_probe());
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kProbe);
+  // actnum = new packets sent in the retreat RTT (= ndup/2).
+  EXPECT_EQ(h.sender().actnum(), 2);
+  EXPECT_EQ(h.sender().ndup(), 0);  // new RTT begins
+  // The partial ACK triggers an immediate retransmission of the hole.
+  EXPECT_EQ(h.sent_seqs(), (std::vector<std::uint64_t>{4000}));
+  // cwnd is still not touched.
+  EXPECT_EQ(h.sender().cwnd_bytes(), 10'000u);
+}
+
+TEST_F(RrFixture, ProbeSendsOneNewPacketPerDupAck) {
+  h.dupacks(3);
+  h.dupacks(5);
+  h.ack(4000);
+  h.wire.clear();
+  // The two retreat packets (10000, 11000) arrive: one dup ACK each, and
+  // RR answers each with one new packet (right-edge self-clocking).
+  h.dupacks(2);
+  EXPECT_EQ(h.sent_seqs(), (std::vector<std::uint64_t>{12'000, 13'000}));
+  EXPECT_EQ(h.sender().ndup(), 2);
+}
+
+TEST_F(RrFixture, CleanPartialAckGrowsActnumLinearly) {
+  h.dupacks(3);   // entry (holes at 0, 4000, 8000)
+  h.dupacks(4);   // retreat: segments 5,6,7,9 arrive -> 2 new packets
+  h.ack(4000);    // probe, actnum = 2
+  h.dupacks(2);   // both new packets arrived: ndup = 2
+  h.wire.clear();
+  h.ack(8000);    // clean RTT boundary: ndup == actnum
+  EXPECT_EQ(h.sender().actnum(), 3);  // linear growth, like CA
+  EXPECT_EQ(h.sender().ndup(), 0);
+  // ONE extra probe packet plus the retransmission of the hole. The probe
+  // packet is serialized first so its dup ACK lands inside the closing
+  // RTT (see the ordering note in rr_sender.cpp).
+  auto seqs = h.sent_seqs();
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0], 14'000u);
+  EXPECT_EQ(seqs[1], 8000u);
+  EXPECT_EQ(h.sender().further_loss_events(), 0u);
+}
+
+TEST_F(RrFixture, ExitRestoresCwndFromActnum) {
+  h.dupacks(3);
+  h.dupacks(4);
+  h.ack(4000);   // probe, actnum 2
+  h.dupacks(2);
+  h.ack(8000);   // actnum 3
+  h.dupacks(3);  // three new packets arrive
+  h.wire.clear();
+  h.ack(12'000);  // >= recover (10000): exit
+  EXPECT_FALSE(h.sender().in_recovery());
+  // cwnd = actnum * MSS: the accurate in-flight measurement. ssthresh
+  // keeps its entry value (5000), so the sender slow-starts back up to it.
+  EXPECT_EQ(h.sender().cwnd_bytes(), 3000u);
+  EXPECT_EQ(h.sender().ssthresh_bytes(), 5000u);
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kSlowStart);
+  EXPECT_EQ(h.sender().actnum(), 0);
+  // No big-ACK burst: flight (15000-12000=3000) already fills cwnd, so the
+  // exit ACK releases nothing here.
+  EXPECT_TRUE(h.wire.data().empty());
+}
+
+TEST_F(RrFixture, SingleLossExitsAfterRetreat) {
+  h.dupacks(3);   // entry, rtx 0
+  h.dupacks(6);   // whole rest of the window arrives: 3 new packets sent
+  h.wire.clear();
+  h.ack(10'000);  // rtx delivered: everything covered, >= recover
+  EXPECT_FALSE(h.sender().in_recovery());
+  // actnum for the exit is what the retreat actually put in flight;
+  // below the entry ssthresh (5000), so a short slow start follows.
+  EXPECT_EQ(h.sender().cwnd_bytes(), 3000u);
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kSlowStart);
+}
+
+TEST_F(RrFixture, FurtherLossShrinksActnumAndExtendsExit) {
+  h.dupacks(3);  // holes at 0 and 4000
+  h.dupacks(5);  // retreat sends 10000, 11000 — and 10000 will be lost
+  h.ack(4000);   // probe, actnum 2, rtx 4000
+  h.dupacks(1);  // only 11000 arrived: ndup 1 < actnum 2; sends 12000
+  h.wire.clear();
+  // rtx of 4000 fills through 9999; 10000 is missing: partial ACK at the
+  // ORIGINAL exit threshold. Must NOT exit — further loss detected.
+  h.ack(10'000);
+  EXPECT_TRUE(h.sender().in_probe());
+  EXPECT_EQ(h.sender().further_loss_events(), 1u);
+  EXPECT_EQ(h.sender().actnum(), 1);           // linear back-off to ndup
+  EXPECT_EQ(h.sender().recover_point(), 13'000u);  // extended to maxseq
+  // The new hole is retransmitted immediately — no 3-dupack wait.
+  EXPECT_EQ(h.sent_seqs(), (std::vector<std::uint64_t>{10'000}));
+}
+
+TEST_F(RrFixture, RecoversFromFurtherLossAndExitsExtended) {
+  h.dupacks(3);
+  h.dupacks(5);
+  h.ack(4000);
+  h.dupacks(1);
+  h.ack(10'000);  // further loss handling (tested above)
+  h.wire.clear();
+  h.dupacks(1);   // 12000 arrives: ndup 1, send 13000
+  h.ack(13'000);  // rtx 10000 delivered; covers through extended recover
+  EXPECT_FALSE(h.sender().in_recovery());
+  EXPECT_EQ(h.sender().cwnd_bytes(), 1000u);  // actnum was 1 at exit
+  // Below the entry ssthresh: slow start climbs back to it.
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kSlowStart);
+  EXPECT_EQ(h.sender().ssthresh_bytes(), 5000u);
+}
+
+TEST_F(RrFixture, AckLossLooksLikeFurtherLossOnlyLinear) {
+  // Pure ACK loss: data all arrives but one dup ACK is lost. RR reacts
+  // with a linear (not multiplicative) decrease — paper Section 2.3.
+  h.dupacks(3);
+  h.dupacks(4);  // retreat: 2 new packets
+  h.ack(4000);   // probe, actnum 2
+  h.dupacks(1);  // one dup ACK lost in the network: ndup 1
+  const auto ssthresh = h.sender().ssthresh_bytes();
+  const auto cwnd = h.sender().cwnd_bytes();
+  h.ack(8000);
+  EXPECT_EQ(h.sender().actnum(), 1);  // ndup, linear shrink
+  EXPECT_TRUE(h.sender().in_probe());
+  // No multiplicative action: ssthresh and cwnd untouched.
+  EXPECT_EQ(h.sender().ssthresh_bytes(), ssthresh);
+  EXPECT_EQ(h.sender().cwnd_bytes(), cwnd);
+}
+
+TEST_F(RrFixture, ExitAckReleasesAtMostConservation) {
+  // Construct an exit where cwnd(actnum) slightly exceeds flight so the
+  // exit ACK releases exactly the conservation amount, never a burst.
+  h.dupacks(3);
+  h.dupacks(6);   // 3 new packets in retreat
+  h.ack(4000);    // probe, actnum 3
+  h.dupacks(3);   // ndup 3, sends 3 new
+  h.wire.clear();
+  h.ack(13'000);  // exit; una jumps 9 packets (the "big ACK")
+  ASSERT_FALSE(h.sender().in_recovery());
+  // New-Reno would blast out up to cwnd-flight here; RR's accurate cwnd
+  // means at most ~1 packet of slack.
+  EXPECT_LE(h.wire.data().size(), 1u);
+}
+
+TEST_F(RrFixture, TimeoutAbandonsRecovery) {
+  h.dupacks(3);
+  ASSERT_TRUE(h.sender().in_retreat());
+  h.sim.run_until(sim::Time::seconds(5));
+  EXPECT_GE(h.sender().stats().timeouts, 1u);
+  EXPECT_FALSE(h.sender().in_recovery());
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kRtoRecovery);
+  EXPECT_EQ(h.sender().cwnd_bytes(), 1000u);
+  EXPECT_EQ(h.sender().actnum(), 0);
+}
+
+TEST_F(RrFixture, NoReentryForPreTimeoutDupAcks) {
+  h.dupacks(3);
+  h.sim.run_until(sim::Time::seconds(5));
+  ASSERT_GE(h.sender().stats().timeouts, 1u);
+  const auto episodes = h.sender().stats().fast_retransmits;
+  h.dupacks(3);  // stale dup ACKs below the post-timeout recover point
+  EXPECT_EQ(h.sender().stats().fast_retransmits, episodes);
+  EXPECT_FALSE(h.sender().in_recovery());
+}
+
+TEST_F(RrFixture, SsthreshMatchesHalfWindowNotHalfFlight) {
+  // With cwnd 10 but only 6 packets in flight (app-limited), the paper's
+  // rule is ssthresh = win/2 where win is the window, bounded by flight
+  // reality through the receiver window.
+  SenderHarness<RrSender> h2{cwnd(10)};
+  h2.sender().set_app_bytes(6000);
+  h2.sender().start();  // sends only 6 packets
+  h2.dupacks(3);
+  EXPECT_EQ(h2.sender().ssthresh_bytes(), 5000u);  // min(cwnd,rwnd)/2
+}
+
+TEST(RrAppLimited, RecoversWithNoNewDataToSend) {
+  // Finite 10-packet transfer, holes at 0 and 4000; the retreat and probe
+  // have nothing new to send, so recovery rides on retransmissions alone.
+  SenderHarness<RrSender> h{cwnd(10)};
+  h.sender().set_app_bytes(10'000);
+  h.sender().start();
+  h.dupacks(3);   // entry, rtx 0
+  h.dupacks(5);   // retreat: no new data available, nothing sent
+  EXPECT_EQ(h.sender().in_retreat(), true);
+  h.wire.clear();
+  h.ack(4000);    // probe, actnum = 0 (nothing was sent)
+  EXPECT_EQ(h.sender().actnum(), 0);
+  EXPECT_EQ(h.sent_seqs(), (std::vector<std::uint64_t>{4000}));
+  h.ack(10'000);  // rtx fills everything: exit + complete
+  EXPECT_FALSE(h.sender().in_recovery());
+  EXPECT_TRUE(h.sender().complete());
+}
+
+TEST(RrTinyWindow, FourPacketWindowStillEnters) {
+  SenderHarness<RrSender> h{cwnd(4)};
+  h.sender().start();
+  h.dupacks(3);  // exactly the three dup ACKs a 4-window can produce
+  EXPECT_TRUE(h.sender().in_retreat());
+  EXPECT_EQ(h.sender().ssthresh_bytes(), 2000u);  // floor 2*MSS
+  h.ack(4000);   // single loss: straight to exit
+  EXPECT_FALSE(h.sender().in_recovery());
+  // Nothing was sent in retreat; cwnd floors at 1 packet.
+  EXPECT_EQ(h.sender().cwnd_bytes(), 1000u);
+}
+
+TEST(RrInvariant, ActnumNeverNegativeAndCwndUntouchedUntilExit) {
+  SenderHarness<RrSender> h{cwnd(12)};
+  h.sender().start();
+  h.dupacks(3);
+  for (int round = 0; round < 5; ++round) {
+    h.dupacks(2);
+    EXPECT_GE(h.sender().ndup(), 0);
+    EXPECT_GE(h.sender().actnum(), 0);
+    EXPECT_EQ(h.sender().cwnd_bytes(), 12'000u);  // untouched in recovery
+    h.ack((round + 1) * 1000u);
+    EXPECT_GE(h.sender().actnum(), 0);
+  }
+  EXPECT_TRUE(h.sender().in_recovery());
+}
+
+}  // namespace
+}  // namespace rrtcp::core

@@ -1,0 +1,142 @@
+// Tests for RR's hardening measures and their knobs (implementation
+// notes 1-3 in core/rr_sender.cpp).
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "core/rr_sender.hpp"
+
+namespace rrtcp::core {
+namespace {
+
+using test::SenderHarness;
+
+tcp::TcpConfig cwnd10() {
+  tcp::TcpConfig cfg;
+  cfg.init_cwnd_pkts = 10;
+  return cfg;
+}
+
+// Drive into probe with a known actnum: window 10, holes at 0 and 4000.
+template <typename H>
+void enter_probe(H& h) {
+  h.sender().start();
+  h.dupacks(3);
+  h.dupacks(5);   // retreat: sends 2 new packets
+  h.ack(4000);    // probe, actnum = 2, rtx 4000
+}
+
+TEST(RrOrdering, ProbeFirstSendsProbeThenRetransmission) {
+  SenderHarness<RrSender> h{cwnd10()};
+  enter_probe(h);
+  h.dupacks(2);
+  h.wire.clear();
+  h.ack(8000);  // clean boundary
+  auto seqs = h.sent_seqs();
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_GT(seqs[0], seqs[1]);  // probe packet (new data) first
+}
+
+TEST(RrOrdering, NaiveOrderRetransmitsFirst) {
+  auto cfg = cwnd10();
+  cfg.rr_probe_packet_first = false;
+  SenderHarness<RrSender> h{cfg};
+  enter_probe(h);
+  h.dupacks(2);
+  h.wire.clear();
+  h.ack(8000);
+  auto seqs = h.sent_seqs();
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_LT(seqs[0], seqs[1]);  // hole retransmission first
+}
+
+TEST(RrBudget, LiteralModeRetransmitsAtEveryExtendedBoundary) {
+  auto cfg = cwnd10();
+  cfg.rr_budget_rtx = false;
+  SenderHarness<RrSender> h{cfg};
+  enter_probe(h);
+  // Further loss: only 1 of 2 recovery packets delivered.
+  h.dupacks(1);
+  h.ack(10'000);  // detection: recover extends; rtx of 10000 (budget n/a)
+  ASSERT_TRUE(h.sender().in_probe());
+  h.wire.clear();
+  // Now a clean boundary in EXTENDED territory (una >= entry recover):
+  // with the budget off, the boundary retransmits snd_una even though
+  // it may merely be in flight.
+  h.dupacks(1);
+  h.ack(12'000);
+  auto seqs = h.sent_seqs();
+  // probe extra (new data) + unconditional boundary rtx of 12000.
+  ASSERT_GE(seqs.size(), 2u);
+  EXPECT_NE(std::find(seqs.begin(), seqs.end(), 12'000u), seqs.end());
+}
+
+TEST(RrBudget, BudgetModeSuppressesUnfundedBoundaryRtx) {
+  SenderHarness<RrSender> h{cwnd10()};
+  enter_probe(h);
+  h.dupacks(1);
+  h.ack(10'000);  // detection consumes the single budgeted rtx
+  ASSERT_TRUE(h.sender().in_probe());
+  h.wire.clear();
+  h.dupacks(1);
+  h.ack(12'000);  // clean extended-territory boundary: no budget left
+  for (auto s : h.sent_seqs()) EXPECT_NE(s, 12'000u);
+}
+
+TEST(RrRescue, RepairsLostRetransmissionFromDupAckCount) {
+  SenderHarness<RrSender> h{cwnd10()};
+  enter_probe(h);  // actnum = 2; the rtx of 4000 will be "lost"
+  h.wire.clear();
+  // Expected deliveries per RTT = actnum (2); after 2 + threshold (3) = 5
+  // dup ACKs with snd_una unmoved, the rescue fires exactly once.
+  h.dupacks(4);
+  EXPECT_EQ(h.sender().rescue_retransmissions(), 0u);
+  h.dupacks(1);
+  EXPECT_EQ(h.sender().rescue_retransmissions(), 1u);
+  auto seqs = h.sent_seqs();
+  EXPECT_NE(std::find(seqs.begin(), seqs.end(), 4000u), seqs.end());
+  // More dup ACKs in the same stall do not re-fire.
+  h.dupacks(5);
+  EXPECT_EQ(h.sender().rescue_retransmissions(), 1u);
+}
+
+TEST(RrRescue, DisabledByKnob) {
+  auto cfg = cwnd10();
+  cfg.rr_rescue_rtx = false;
+  SenderHarness<RrSender> h{cfg};
+  enter_probe(h);
+  h.wire.clear();
+  h.dupacks(12);
+  EXPECT_EQ(h.sender().rescue_retransmissions(), 0u);
+  for (auto s : h.sent_seqs()) EXPECT_NE(s, 4000u);  // never re-sent
+}
+
+TEST(RrRescue, AlsoCoversTheRetreatEntryRetransmission) {
+  SenderHarness<RrSender> h{cwnd10()};
+  h.sender().start();
+  h.dupacks(3);  // entry rtx of 0 — assume it is lost
+  h.wire.clear();
+  // Expected dup ACKs in the retreat RTT ~ window (10); rescue after
+  // 10 + 3 = 13 dup ACKs at the same snd_una (3 already counted).
+  h.dupacks(9);  // dupacks() = 12
+  EXPECT_EQ(h.sender().rescue_retransmissions(), 0u);
+  h.dupacks(1);  // dupacks() = 13
+  EXPECT_EQ(h.sender().rescue_retransmissions(), 1u);
+  auto seqs = h.sent_seqs();
+  EXPECT_NE(std::find(seqs.begin(), seqs.end(), 0u), seqs.end());
+}
+
+TEST(RrRescue, BoundaryResetsTheOncePerRttLatch) {
+  SenderHarness<RrSender> h{cwnd10()};
+  enter_probe(h);
+  h.wire.clear();
+  h.dupacks(5);  // rescue #1 fires
+  ASSERT_EQ(h.sender().rescue_retransmissions(), 1u);
+  h.ack(8000);   // a boundary opens a new RTT (further-loss branch here)
+  ASSERT_TRUE(h.sender().in_probe());
+  // A fresh stall in the new RTT can rescue again.
+  h.dupacks(8);
+  EXPECT_EQ(h.sender().rescue_retransmissions(), 2u);
+}
+
+}  // namespace
+}  // namespace rrtcp::core

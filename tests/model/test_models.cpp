@@ -1,0 +1,105 @@
+// Analytic TCP throughput models: Mathis square-root bound (paper
+// Section 4) and the Padhye et al. full model the paper cites as the
+// better predictor at high loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/mathis.hpp"
+#include "model/padhye.hpp"
+
+namespace rrtcp::model {
+namespace {
+
+TEST(Mathis, WindowIsCOverSqrtP) {
+  EXPECT_DOUBLE_EQ(window_packets(0.01, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(window_packets(0.04, 2.0), 10.0);
+  EXPECT_NEAR(window_packets(0.01), 12.247, 0.001);  // C = sqrt(3/2)
+}
+
+TEST(Mathis, BandwidthScalesWithMssOverRtt) {
+  const double bw1 = bandwidth_bps(1000, 0.2, 0.01);
+  const double bw2 = bandwidth_bps(2000, 0.2, 0.01);
+  const double bw3 = bandwidth_bps(1000, 0.4, 0.01);
+  EXPECT_DOUBLE_EQ(bw2, 2 * bw1);
+  EXPECT_DOUBLE_EQ(bw3, bw1 / 2);
+  // Concrete value: 1000 B, 200 ms, p=0.01, C=sqrt(1.5):
+  // 8000/0.2 * 12.247 = 489,898 bps.
+  EXPECT_NEAR(bw1, 489'898, 10);
+}
+
+TEST(Mathis, LossRateInvertsWindow) {
+  for (double p : {0.001, 0.01, 0.1}) {
+    const double w = window_packets(p);
+    EXPECT_NEAR(loss_rate_for_window(w), p, p * 1e-9);
+  }
+}
+
+TEST(Mathis, ConstantsOrdered) {
+  // Delayed ACKs halve the ACK clock: smaller constant.
+  EXPECT_LT(kMathisCDelayedAck, kMathisCPerPacketAck);
+  EXPECT_NEAR(kMathisCPerPacketAck, std::sqrt(1.5), 1e-12);
+  EXPECT_NEAR(kMathisCDelayedAck, std::sqrt(0.75), 1e-12);
+}
+
+TEST(Padhye, ApproachesMathisAtLowLoss) {
+  // With negligible timeout probability the PFTK model reduces to the
+  // square-root law: BW ~ (1/RTT) * sqrt(3/(2bp)).
+  PadhyeParams params;
+  params.rtt_s = 0.2;
+  params.t0_s = 1.0;
+  const double p = 1e-5;
+  const double pftk = padhye_throughput_pps(p, params);
+  const double mathis = window_packets(p) / params.rtt_s;
+  EXPECT_NEAR(pftk / mathis, 1.0, 0.05);
+}
+
+TEST(Padhye, TimeoutsDominateAtHighLoss) {
+  // At p = 0.1 the timeout term must pull throughput well below the
+  // square-root law.
+  PadhyeParams params;
+  params.rtt_s = 0.2;
+  params.t0_s = 1.0;
+  const double pftk = padhye_throughput_pps(0.1, params);
+  const double mathis = window_packets(0.1) / params.rtt_s;
+  EXPECT_LT(pftk, 0.5 * mathis);
+}
+
+TEST(Padhye, MonotoneDecreasingInLoss) {
+  PadhyeParams params;
+  double prev = 1e18;
+  for (double p : {0.001, 0.003, 0.01, 0.03, 0.1, 0.3}) {
+    const double bw = padhye_throughput_pps(p, params);
+    EXPECT_LT(bw, prev) << "p=" << p;
+    prev = bw;
+  }
+}
+
+TEST(Padhye, LargerT0MeansLessThroughputAtHighLoss) {
+  PadhyeParams fast, slow;
+  fast.t0_s = 0.5;
+  slow.t0_s = 4.0;
+  EXPECT_GT(padhye_throughput_pps(0.05, fast),
+            padhye_throughput_pps(0.05, slow));
+}
+
+TEST(Padhye, WindowCapBinds) {
+  PadhyeParams capped;
+  capped.wmax_pkts = 5;
+  EXPECT_DOUBLE_EQ(padhye_window_packets(1e-6, capped), 5.0);
+  // And is irrelevant when the loss-limited window is below the cap.
+  PadhyeParams loose;
+  loose.wmax_pkts = 1000;
+  PadhyeParams unbounded;
+  EXPECT_DOUBLE_EQ(padhye_window_packets(0.05, loose),
+                   padhye_window_packets(0.05, unbounded));
+}
+
+TEST(Padhye, DelayedAcksHalveTheClock) {
+  PadhyeParams b1, b2;
+  b2.b = 2;
+  EXPECT_GT(padhye_throughput_pps(0.01, b1), padhye_throughput_pps(0.01, b2));
+}
+
+}  // namespace
+}  // namespace rrtcp::model

@@ -1,0 +1,76 @@
+#include "net/drop_tail.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+
+namespace rrtcp::net {
+namespace {
+
+using test::make_data;
+
+TEST(DropTail, FifoOrder) {
+  DropTailQueue q{10};
+  for (int i = 0; i < 5; ++i) q.enqueue(make_data(1, i * 1000, 1000));
+  for (int i = 0; i < 5; ++i) {
+    auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->tcp.seq, static_cast<std::uint64_t>(i) * 1000);
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(DropTail, DropsWhenFullPacketsMode) {
+  DropTailQueue q{3};
+  EXPECT_TRUE(q.enqueue(make_data(1, 0, 1000)));
+  EXPECT_TRUE(q.enqueue(make_data(1, 1000, 1000)));
+  EXPECT_TRUE(q.enqueue(make_data(1, 2000, 1000)));
+  EXPECT_FALSE(q.enqueue(make_data(1, 3000, 1000)));
+  EXPECT_EQ(q.len_packets(), 3u);
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(q.stats().enqueued, 3u);
+}
+
+TEST(DropTail, OccupancyNeverExceedsCapacity) {
+  DropTailQueue q{8};
+  for (int i = 0; i < 100; ++i) {
+    q.enqueue(make_data(1, i * 1000, 1000));
+    EXPECT_LE(q.len_packets(), 8u);
+  }
+}
+
+TEST(DropTail, DequeueFreesSpace) {
+  DropTailQueue q{1};
+  EXPECT_TRUE(q.enqueue(make_data(1, 0, 1000)));
+  EXPECT_FALSE(q.enqueue(make_data(1, 1000, 1000)));
+  q.dequeue();
+  EXPECT_TRUE(q.enqueue(make_data(1, 2000, 1000)));
+}
+
+TEST(DropTail, BytesModeCountsBytes) {
+  DropTailQueue q{2500, DropTailQueue::Mode::kBytes};
+  EXPECT_TRUE(q.enqueue(make_data(1, 0, 1000)));      // 1000 B
+  EXPECT_TRUE(q.enqueue(make_data(1, 1000, 1000)));   // 2000 B
+  EXPECT_FALSE(q.enqueue(make_data(1, 2000, 1000)));  // would be 3000 B
+  EXPECT_EQ(q.len_bytes(), 2000u);
+  EXPECT_EQ(q.stats().bytes_dropped, 1000u);
+}
+
+TEST(DropTail, LenBytesTracksDequeue) {
+  DropTailQueue q{10};
+  q.enqueue(make_data(1, 0, 1000));
+  q.enqueue(make_data(1, 1000, 1000));
+  EXPECT_EQ(q.len_bytes(), 2000u);
+  q.dequeue();
+  EXPECT_EQ(q.len_bytes(), 1000u);
+  q.dequeue();
+  EXPECT_EQ(q.len_bytes(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DropTailDeath, ZeroCapacityRejected) {
+  EXPECT_DEATH(DropTailQueue q(0), "capacity");
+}
+
+}  // namespace
+}  // namespace rrtcp::net

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "net/drop_tail.hpp"
+#include "net/dumbbell.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+
+namespace rrtcp::net {
+namespace {
+
+using test::CaptureAgent;
+using test::make_data;
+
+std::unique_ptr<QueueDisc> big_queue() {
+  return std::make_unique<DropTailQueue>(1000);
+}
+
+TEST(Link, DeliversAfterTxPlusPropagation) {
+  sim::Simulator sim;
+  Node dst{2};
+  CaptureAgent agent;
+  dst.attach_agent(1, &agent);
+  // 1000 B at 0.8 Mbps = 10 ms tx; 100 ms propagation.
+  Link link{sim, {800'000, sim::Time::milliseconds(100), "l"}, big_queue()};
+  link.set_dst(&dst);
+
+  link.send(make_data(1, 0, 1000, /*src=*/1, /*dst=*/2));
+  sim.run();
+  ASSERT_EQ(agent.packets.size(), 1u);
+  EXPECT_EQ(sim.now(), sim::Time::milliseconds(110));
+  EXPECT_EQ(agent.packets[0].hops, 1u);
+}
+
+TEST(Link, SerializesBackToBackPackets) {
+  sim::Simulator sim;
+  Node dst{2};
+  CaptureAgent agent;
+  dst.attach_agent(1, &agent);
+  Link link{sim, {800'000, sim::Time::zero(), "l"}, big_queue()};
+  link.set_dst(&dst);
+
+  std::vector<sim::Time> arrivals;
+  // Wrap: record arrival times via an observing agent.
+  for (int i = 0; i < 3; ++i) link.send(make_data(1, i * 1000, 1000));
+  sim.run();
+  ASSERT_EQ(agent.packets.size(), 3u);
+  // Each 1000 B packet takes 10 ms to serialize; delivery at 10/20/30 ms.
+  EXPECT_EQ(sim.now(), sim::Time::milliseconds(30));
+}
+
+TEST(Link, CountsDeliveredBytes) {
+  sim::Simulator sim;
+  Node dst{2};
+  CaptureAgent agent;
+  dst.attach_agent(1, &agent);
+  Link link{sim, {10'000'000, sim::Time::milliseconds(1), "l"}, big_queue()};
+  link.set_dst(&dst);
+  for (int i = 0; i < 4; ++i) link.send(make_data(1, i * 1000, 1000));
+  sim.run();
+  EXPECT_EQ(link.packets_delivered(), 4u);
+  EXPECT_EQ(link.bytes_delivered(), 4000u);
+}
+
+TEST(Link, LossModelDropsBeforeQueue) {
+  sim::Simulator sim;
+  Node dst{2};
+  CaptureAgent agent;
+  dst.attach_agent(1, &agent);
+  Link link{sim, {800'000, sim::Time::zero(), "l"}, big_queue()};
+  link.set_dst(&dst);
+  link.set_loss_model(std::make_unique<ListLossModel>(
+      std::vector<std::pair<FlowId, std::uint64_t>>{{1, 1000}}));
+
+  link.send(make_data(1, 0, 1000));
+  link.send(make_data(1, 1000, 1000));  // dropped by the model
+  link.send(make_data(1, 2000, 1000));
+  sim.run();
+  ASSERT_EQ(agent.packets.size(), 2u);
+  EXPECT_EQ(agent.packets[0].tcp.seq, 0u);
+  EXPECT_EQ(agent.packets[1].tcp.seq, 2000u);
+  EXPECT_EQ(link.loss_model_drops(), 1u);
+  EXPECT_EQ(link.queue().stats().dropped, 0u);
+}
+
+TEST(Link, UtilizationReflectsBusyTime) {
+  sim::Simulator sim;
+  Node dst{2};
+  CaptureAgent agent;
+  dst.attach_agent(1, &agent);
+  Link link{sim, {800'000, sim::Time::zero(), "l"}, big_queue()};
+  link.set_dst(&dst);
+  for (int i = 0; i < 10; ++i) link.send(make_data(1, i * 1000, 1000));
+  sim.run();  // 100 ms of transmission
+  sim.run_until(sim::Time::milliseconds(200));
+  EXPECT_NEAR(link.utilization(sim.now()), 0.5, 1e-9);
+}
+
+TEST(Node, DeliversToLocalAgentByFlow) {
+  Node n{5};
+  CaptureAgent a1, a2;
+  n.attach_agent(1, &a1);
+  n.attach_agent(2, &a2);
+  n.receive(make_data(2, 0, 1000, /*src=*/1, /*dst=*/5));
+  EXPECT_EQ(a1.packets.size(), 0u);
+  EXPECT_EQ(a2.packets.size(), 1u);
+}
+
+TEST(Node, CountsOrphanPackets) {
+  Node n{5};
+  n.receive(make_data(9, 0, 1000, 1, /*dst=*/5));  // no agent for flow 9
+  EXPECT_EQ(n.undeliverable(), 1u);
+  n.receive(make_data(9, 0, 1000, 1, /*dst=*/77));  // no route to 77
+  EXPECT_EQ(n.undeliverable(), 2u);
+}
+
+TEST(Node, ForwardsViaSpecificRouteOverDefault) {
+  Node n{5};
+  test::CaptureHandler specific, fallback;
+  n.add_route(7, &specific);
+  n.set_default_route(&fallback);
+  n.receive(make_data(1, 0, 1000, 1, /*dst=*/7));
+  n.receive(make_data(1, 0, 1000, 1, /*dst=*/8));
+  EXPECT_EQ(specific.count(), 1u);
+  EXPECT_EQ(fallback.count(), 1u);
+  EXPECT_EQ(n.forwarded(), 2u);
+}
+
+TEST(Dumbbell, EndToEndPathWorksBothWays) {
+  sim::Simulator sim;
+  DumbbellConfig cfg;
+  cfg.n_flows = 2;
+  DumbbellTopology topo{sim, cfg};
+
+  CaptureAgent rcv, snd;
+  topo.receiver_node(1).attach_agent(3, &rcv);
+  topo.sender_node(1).attach_agent(3, &snd);
+
+  // Data S2 -> K2.
+  topo.sender_node(1).inject(make_data(3, 0, 1000, topo.sender_node(1).id(),
+                                       topo.receiver_node(1).id()));
+  // ACK K2 -> S2.
+  topo.receiver_node(1).inject(test::make_ack(3, 1000,
+                                              {},
+                                              topo.receiver_node(1).id(),
+                                              topo.sender_node(1).id()));
+  sim.run();
+  ASSERT_EQ(rcv.packets.size(), 1u);
+  ASSERT_EQ(snd.packets.size(), 1u);
+  EXPECT_EQ(rcv.packets[0].hops, 3u);  // S->R1, R1->R2, R2->K
+  EXPECT_EQ(snd.packets[0].hops, 3u);
+}
+
+TEST(Dumbbell, BaseRttMatchesHandComputation) {
+  sim::Simulator sim;
+  DumbbellConfig cfg;  // defaults: 0.8 Mbps/100 ms bottleneck, 10 Mbps sides
+  cfg.side_delay = sim::Time::zero();
+  DumbbellTopology topo{sim, cfg};
+  // Data: 2*0.8ms side tx + 10ms bneck tx + 100ms;
+  // ACK: 2*0.032ms + 0.4ms + 100ms.
+  const double expect_s = (0.0008 * 2 + 0.010 + 0.100) +
+                          (0.000032 * 2 + 0.0004 + 0.100);
+  EXPECT_NEAR(topo.base_rtt(1000, 40).to_seconds(), expect_s, 1e-9);
+}
+
+TEST(Dumbbell, DefaultBottleneckQueueIsEightPackets) {
+  sim::Simulator sim;
+  DumbbellConfig cfg;
+  DumbbellTopology topo{sim, cfg};
+  auto& q = topo.bottleneck().queue();
+  for (int i = 0; i < 12; ++i) q.enqueue(make_data(1, i * 1000, 1000));
+  EXPECT_EQ(q.len_packets(), 8u);  // Table 3: buffer size 8 packets
+}
+
+}  // namespace
+}  // namespace rrtcp::net

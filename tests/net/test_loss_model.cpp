@@ -1,0 +1,111 @@
+#include "net/loss_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+
+namespace rrtcp::net {
+namespace {
+
+using test::make_ack;
+using test::make_data;
+
+const sim::Time kNow = sim::Time::zero();
+
+TEST(UniformLoss, ZeroRateNeverDrops) {
+  UniformLossModel m{0.0, 1};
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_FALSE(m.should_drop(make_data(1, i * 1000, 1000), kNow));
+  EXPECT_EQ(m.drops(), 0u);
+}
+
+TEST(UniformLoss, FullRateAlwaysDropsData) {
+  UniformLossModel m{1.0, 1};
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(m.should_drop(make_data(1, i * 1000, 1000), kNow));
+  EXPECT_EQ(m.drops(), 100u);
+}
+
+TEST(UniformLoss, DataOnlySparesAcks) {
+  UniformLossModel m{1.0, 1, /*data_only=*/true};
+  EXPECT_FALSE(m.should_drop(make_ack(1, 1000), kNow));
+  EXPECT_TRUE(m.should_drop(make_data(1, 0, 1000), kNow));
+}
+
+TEST(UniformLoss, CanDropAcksWhenAsked) {
+  UniformLossModel m{1.0, 1, /*data_only=*/false};
+  EXPECT_TRUE(m.should_drop(make_ack(1, 1000), kNow));
+}
+
+TEST(UniformLoss, EmpiricalRateMatches) {
+  UniformLossModel m{0.05, 42};
+  int drops = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i)
+    if (m.should_drop(make_data(1, i * 1000, 1000), kNow)) ++drops;
+  EXPECT_NEAR(drops / static_cast<double>(n), 0.05, 0.005);
+}
+
+TEST(ListLoss, DropsListedSegmentsExactlyOnce) {
+  ListLossModel m{{{1, 4000}, {1, 7000}}};
+  EXPECT_FALSE(m.should_drop(make_data(1, 3000, 1000), kNow));
+  EXPECT_TRUE(m.should_drop(make_data(1, 4000, 1000), kNow));
+  // Retransmission of the same segment passes.
+  EXPECT_FALSE(m.should_drop(make_data(1, 4000, 1000), kNow));
+  EXPECT_TRUE(m.should_drop(make_data(1, 7000, 1000), kNow));
+  EXPECT_EQ(m.remaining(), 0u);
+  EXPECT_EQ(m.drops(), 2u);
+}
+
+TEST(ListLoss, FlowScoped) {
+  ListLossModel m{{{1, 4000}}};
+  EXPECT_FALSE(m.should_drop(make_data(2, 4000, 1000), kNow));
+  EXPECT_TRUE(m.should_drop(make_data(1, 4000, 1000), kNow));
+}
+
+TEST(ListLoss, IgnoresAcks) {
+  ListLossModel m{{{1, 4000}}};
+  EXPECT_FALSE(m.should_drop(make_ack(1, 4000), kNow));
+  EXPECT_EQ(m.remaining(), 1u);
+}
+
+TEST(CountedLoss, DropsTheNthBurst) {
+  CountedLossModel m{1, /*first=*/3, /*burst=*/2};  // drop arrivals 3 and 4
+  EXPECT_FALSE(m.should_drop(make_data(1, 0, 1000), kNow));
+  EXPECT_FALSE(m.should_drop(make_data(1, 1000, 1000), kNow));
+  EXPECT_TRUE(m.should_drop(make_data(1, 2000, 1000), kNow));
+  EXPECT_TRUE(m.should_drop(make_data(1, 3000, 1000), kNow));
+  EXPECT_FALSE(m.should_drop(make_data(1, 4000, 1000), kNow));
+  EXPECT_EQ(m.drops(), 2u);
+}
+
+TEST(CountedLoss, CountsOnlyMatchingFlow) {
+  CountedLossModel m{1, 1, 1};  // drop flow 1's first arrival
+  EXPECT_FALSE(m.should_drop(make_data(9, 0, 1000), kNow));
+  EXPECT_TRUE(m.should_drop(make_data(1, 0, 1000), kNow));
+}
+
+TEST(CompositeLoss, AnyConstituentDrops) {
+  auto c = std::make_unique<CompositeLossModel>();
+  c->add(std::make_unique<ListLossModel>(
+      std::vector<std::pair<FlowId, std::uint64_t>>{{1, 1000}}));
+  c->add(std::make_unique<ListLossModel>(
+      std::vector<std::pair<FlowId, std::uint64_t>>{{1, 2000}}));
+  EXPECT_TRUE(c->should_drop(make_data(1, 1000, 1000), kNow));
+  EXPECT_TRUE(c->should_drop(make_data(1, 2000, 1000), kNow));
+  EXPECT_FALSE(c->should_drop(make_data(1, 3000, 1000), kNow));
+  EXPECT_EQ(c->drops(), 2u);
+}
+
+TEST(CompositeLoss, AllConstituentsSeeEveryPacket) {
+  // Even when the first model drops, the second's counter must advance.
+  auto c = std::make_unique<CompositeLossModel>();
+  c->add(std::make_unique<CountedLossModel>(1, 1, 1));  // drops arrival 1
+  c->add(std::make_unique<CountedLossModel>(1, 2, 1));  // drops arrival 2
+  EXPECT_TRUE(c->should_drop(make_data(1, 0, 1000), kNow));
+  EXPECT_TRUE(c->should_drop(make_data(1, 1000, 1000), kNow));
+  EXPECT_FALSE(c->should_drop(make_data(1, 2000, 1000), kNow));
+}
+
+}  // namespace
+}  // namespace rrtcp::net

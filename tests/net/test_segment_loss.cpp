@@ -1,0 +1,67 @@
+// SegmentLossModel (repeated loss of one segment) and the receiver
+// progress callback — the pieces the retransmission-loss experiments and
+// the recovery-goodput measurements are built on.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "net/loss_model.hpp"
+#include "net/node.hpp"
+#include "tcp/receiver.hpp"
+
+namespace rrtcp::net {
+namespace {
+
+using test::make_data;
+
+TEST(SegmentLoss, DropsExactlyTheFirstNTransmissions) {
+  SegmentLossModel m{1, 5000, 2};
+  const sim::Time now = sim::Time::zero();
+  EXPECT_TRUE(m.should_drop(make_data(1, 5000, 1000), now));   // original
+  EXPECT_TRUE(m.should_drop(make_data(1, 5000, 1000), now));   // 1st rtx
+  EXPECT_FALSE(m.should_drop(make_data(1, 5000, 1000), now));  // 2nd rtx
+  EXPECT_EQ(m.drops(), 2u);
+}
+
+TEST(SegmentLoss, OtherSegmentsAndFlowsPass) {
+  SegmentLossModel m{1, 5000, 5};
+  const sim::Time now = sim::Time::zero();
+  EXPECT_FALSE(m.should_drop(make_data(1, 4000, 1000), now));
+  EXPECT_FALSE(m.should_drop(make_data(2, 5000, 1000), now));
+  EXPECT_FALSE(m.should_drop(test::make_ack(1, 5000), now));
+}
+
+TEST(ReceiverProgress, CallbackFiresOnlyOnNewUniqueBytes) {
+  sim::Simulator sim;
+  Node node{2};
+  test::CaptureHandler wire;
+  node.set_default_route(&wire);
+  tcp::TcpReceiver rcv{sim, node, 7, /*peer=*/1};
+
+  std::vector<std::uint64_t> progress;
+  rcv.set_progress_callback(
+      [&](sim::Time, std::uint64_t bytes) { progress.push_back(bytes); });
+
+  rcv.receive(make_data(7, 0, 1000));     // +1000 in order
+  rcv.receive(make_data(7, 2000, 1000));  // +1000 out of order
+  rcv.receive(make_data(7, 2000, 1000));  // duplicate: NO progress
+  rcv.receive(make_data(7, 1000, 1000));  // fills the hole: +1000
+  ASSERT_EQ(progress.size(), 3u);
+  EXPECT_EQ(progress[0], 1000u);
+  EXPECT_EQ(progress[1], 2000u);
+  EXPECT_EQ(progress[2], 3000u);
+  EXPECT_EQ(rcv.unique_bytes(), 3000u);
+}
+
+TEST(ReceiverProgress, UniqueBytesCountsBufferedData) {
+  sim::Simulator sim;
+  Node node{2};
+  test::CaptureHandler wire;
+  node.set_default_route(&wire);
+  tcp::TcpReceiver rcv{sim, node, 7, 1};
+  rcv.receive(make_data(7, 5000, 1000));
+  EXPECT_EQ(rcv.bytes_in_order(), 0u);
+  EXPECT_EQ(rcv.unique_bytes(), 1000u);  // dormant data still counts
+}
+
+}  // namespace
+}  // namespace rrtcp::net

@@ -1,0 +1,102 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rrtcp::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NamedStreamsAreIndependent) {
+  Rng a{7, "loss"}, b{7, "red"};
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  // Same name, same seed: identical stream.
+  Rng c{7, "loss"}, d{7, "loss"};
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(c.next_u64(), d.next_u64());
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r{3};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng r{11};
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng r{5};
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = r.uniform_int(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r{5};
+  EXPECT_EQ(r.uniform_int(9, 9), 9u);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r{6};
+  std::vector<int> seen(4, 0);
+  for (int i = 0; i < 4000; ++i) ++seen[r.uniform_int(0, 3)];
+  for (int c : seen) EXPECT_GT(c, 800);  // ~1000 expected each
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng r{8};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r{9};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i)
+    if (r.bernoulli(0.02)) ++hits;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.02, 0.003);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{10};
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, HashNameStableAndDistinct) {
+  EXPECT_EQ(hash_name("abc"), hash_name("abc"));
+  EXPECT_NE(hash_name("abc"), hash_name("abd"));
+  EXPECT_NE(hash_name(""), hash_name("a"));
+}
+
+}  // namespace
+}  // namespace rrtcp::sim

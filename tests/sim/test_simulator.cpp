@@ -1,0 +1,152 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rrtcp::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), Time::zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(Time::seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(Time::seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(Time::seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Time::seconds(3));
+}
+
+TEST(Simulator, FifoTieBreakAtSameInstant) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_at(Time::seconds(1), [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  Time fired = Time::zero();
+  sim.schedule_at(Time::seconds(5), [&] {
+    sim.schedule_in(Time::seconds(2), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, Time::seconds(7));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  // A self-rescheduling event every second, forever.
+  std::function<void()> tick = [&] {
+    ++count;
+    sim.schedule_in(Time::seconds(1), tick);
+  };
+  sim.schedule_at(Time::seconds(1), tick);
+  sim.run_until(Time::seconds(10));
+  EXPECT_EQ(count, 10);            // events at 1..10 inclusive
+  EXPECT_EQ(sim.now(), Time::seconds(10));
+  sim.run_until(Time::seconds(12));
+  EXPECT_EQ(count, 12);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(Time::seconds(42));
+  EXPECT_EQ(sim.now(), Time::seconds(42));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(Time::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelTwiceIsNoop) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(Time::seconds(1), [] {});
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(Simulator, HandleNotPendingAfterFire) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(Time::seconds(1), [] {});
+  sim.run();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 100; ++i)
+    sim.schedule_at(Time::seconds(i), [&] {
+      if (++count == 5) sim.stop();
+    });
+  sim.run();
+  EXPECT_EQ(count, 5);
+  // Remaining events still pending; a fresh run() resumes.
+  sim.run();
+  EXPECT_EQ(count, 100);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 50) sim.schedule_in(Time::milliseconds(1), recurse);
+  };
+  sim.schedule_at(Time::zero(), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 50);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(Time::seconds(1), [&] { ++count; });
+  sim.schedule_at(Time::seconds(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(Time::seconds(i + 1), [] {});
+  EXPECT_EQ(sim.run(), 7u);
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(SimulatorDeath, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.schedule_at(Time::seconds(5), [] {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(Time::seconds(1), [] {}), "past");
+}
+
+}  // namespace
+}  // namespace rrtcp::sim

@@ -1,0 +1,77 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rrtcp::sim {
+namespace {
+
+TEST(Time, NamedConstructorsAgree) {
+  EXPECT_EQ(Time::seconds(1.0), Time::milliseconds(1000));
+  EXPECT_EQ(Time::milliseconds(1), Time::microseconds(1000));
+  EXPECT_EQ(Time::microseconds(1), Time::nanoseconds(1000));
+  EXPECT_EQ(Time::nanoseconds(1), Time::picoseconds(1000));
+}
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_EQ(t, Time::zero());
+  EXPECT_EQ(t.ps(), 0);
+}
+
+TEST(Time, SecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(Time::seconds(0.123456789).to_seconds(), 0.123456789);
+  EXPECT_DOUBLE_EQ(Time::seconds(100.0).to_seconds(), 100.0);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::milliseconds(300);
+  const Time b = Time::milliseconds(200);
+  EXPECT_EQ(a + b, Time::milliseconds(500));
+  EXPECT_EQ(a - b, Time::milliseconds(100));
+  EXPECT_EQ(a * 3, Time::milliseconds(900));
+  EXPECT_EQ(a / 3, Time::milliseconds(100));
+  EXPECT_EQ(a / b, 1);  // integer ratio
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::seconds(1);
+  t += Time::seconds(2);
+  EXPECT_EQ(t, Time::seconds(3));
+  t -= Time::seconds(1);
+  EXPECT_EQ(t, Time::seconds(2));
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::milliseconds(1), Time::milliseconds(2));
+  EXPECT_LE(Time::zero(), Time::zero());
+  EXPECT_GT(Time::seconds(1), Time::milliseconds(999));
+  EXPECT_LT(Time::seconds(1e6), Time::infinity());
+}
+
+TEST(Time, TransmissionTime) {
+  // 1000 bytes at 0.8 Mbps = 8000 bits / 800000 bps = 10 ms exactly.
+  EXPECT_EQ(Time::transmission(1000, 800'000), Time::milliseconds(10));
+  // 40 bytes at 10 Mbps = 320 / 1e7 s = 32 us.
+  EXPECT_EQ(Time::transmission(40, 10'000'000), Time::microseconds(32));
+  // Non-divisible case is exact in picoseconds: 1 byte at 3 bps.
+  EXPECT_EQ(Time::transmission(1, 3).ps(), 8'000'000'000'000 / 3);
+}
+
+TEST(Time, TransmissionAtHighRateIsExact) {
+  // 40-byte ACK on 10 Gbps: 32 ns — representable without rounding.
+  EXPECT_EQ(Time::transmission(40, 10'000'000'000LL),
+            Time::nanoseconds(32));
+}
+
+TEST(Time, InfinityIsSticky) {
+  EXPECT_TRUE(Time::infinity().is_infinite());
+  EXPECT_FALSE(Time::seconds(1).is_infinite());
+}
+
+TEST(Time, ToString) {
+  EXPECT_EQ(Time::seconds(1.5).to_string(), "1.500000000s");
+  EXPECT_EQ(Time::infinity().to_string(), "+inf");
+}
+
+}  // namespace
+}  // namespace rrtcp::sim

@@ -1,0 +1,75 @@
+#include "sim/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rrtcp::sim {
+namespace {
+
+TEST(Timer, FiresOnceAfterDelay) {
+  Simulator sim;
+  int fires = 0;
+  Timer t{sim, [&] { ++fires; }};
+  t.schedule(Time::seconds(2));
+  EXPECT_TRUE(t.pending());
+  EXPECT_EQ(t.expiry(), Time::seconds(2));
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, RescheduleReplacesPendingExpiry) {
+  Simulator sim;
+  Time fired_at = Time::zero();
+  Timer t{sim, [&] { fired_at = sim.now(); }};
+  t.schedule(Time::seconds(1));
+  t.schedule(Time::seconds(5));  // supersedes the first
+  sim.run();
+  EXPECT_EQ(fired_at, Time::seconds(5));
+}
+
+TEST(Timer, CancelPreventsFire) {
+  Simulator sim;
+  int fires = 0;
+  Timer t{sim, [&] { ++fires; }};
+  t.schedule(Time::seconds(1));
+  t.cancel();
+  sim.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Timer, CallbackMayRearm) {
+  Simulator sim;
+  int fires = 0;
+  Timer t{sim, [&] {
+            if (++fires < 3) t.schedule(Time::seconds(1));
+          }};
+  t.schedule(Time::seconds(1));
+  sim.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(sim.now(), Time::seconds(3));
+}
+
+TEST(Timer, DestructionCancelsCleanly) {
+  Simulator sim;
+  int fires = 0;
+  {
+    Timer t{sim, [&] { ++fires; }};
+    t.schedule(Time::seconds(1));
+  }  // destroyed while pending
+  sim.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Timer, ReuseAfterFire) {
+  Simulator sim;
+  int fires = 0;
+  Timer t{sim, [&] { ++fires; }};
+  t.schedule(Time::seconds(1));
+  sim.run();
+  t.schedule(Time::seconds(1));
+  sim.run();
+  EXPECT_EQ(fires, 2);
+}
+
+}  // namespace
+}  // namespace rrtcp::sim

@@ -1,0 +1,135 @@
+// Tests for the measurement layer: sequence/phase tracers, throughput
+// meters, and the table/series printers the benches rely on.
+#include <gtest/gtest.h>
+
+#include "stats/table.hpp"
+#include "stats/throughput.hpp"
+#include "stats/tracer.hpp"
+
+namespace rrtcp::stats {
+namespace {
+
+using sim::Time;
+using tcp::TcpPhase;
+
+TEST(SeqTracer, ConvertsBytesToPacketNumbers) {
+  SeqTracer t{1000};
+  t.on_send(Time::seconds(1), 5000, 1000, false);
+  t.on_ack(Time::seconds(2), 6000, false);
+  ASSERT_EQ(t.sends().size(), 1u);
+  EXPECT_EQ(t.sends()[0].seq_pkts, 5u);
+  ASSERT_EQ(t.acks().size(), 1u);
+  EXPECT_EQ(t.acks()[0].ack_pkts, 6u);
+}
+
+TEST(SeqTracer, AckedPacketsAtIsMonotoneStep) {
+  SeqTracer t{1000};
+  t.on_ack(Time::seconds(1), 2000, false);
+  t.on_ack(Time::seconds(3), 5000, false);
+  EXPECT_EQ(t.acked_packets_at(Time::seconds(0)), 0u);
+  EXPECT_EQ(t.acked_packets_at(Time::seconds(1)), 2u);
+  EXPECT_EQ(t.acked_packets_at(Time::seconds(2)), 2u);
+  EXPECT_EQ(t.acked_packets_at(Time::seconds(3)), 5u);
+  EXPECT_EQ(t.acked_packets_at(Time::seconds(99)), 5u);
+}
+
+TEST(SeqTracer, AckSeriesSamplesUniformly) {
+  SeqTracer t{1000};
+  t.on_ack(Time::seconds(1), 3000, false);
+  auto series = t.ack_series(Time::seconds(1), Time::seconds(3));
+  ASSERT_EQ(series.size(), 4u);  // t = 0, 1, 2, 3
+  EXPECT_EQ(series[0].second, 0u);
+  EXPECT_EQ(series[1].second, 3u);
+  EXPECT_EQ(series[3].second, 3u);
+}
+
+TEST(PhaseTracer, TracksIntervals) {
+  PhaseTracer t;
+  t.on_phase(Time::seconds(1), TcpPhase::kCongestionAvoidance);
+  t.on_phase(Time::seconds(2), TcpPhase::kRetreat);
+  t.on_phase(Time::seconds(3), TcpPhase::kProbe);
+  t.on_phase(Time::seconds(5), TcpPhase::kCongestionAvoidance);
+  ASSERT_EQ(t.intervals().size(), 4u);
+  EXPECT_EQ(t.first_recovery_start(), Time::seconds(2));
+  EXPECT_EQ(t.last_recovery_end(), Time::seconds(5));
+  EXPECT_EQ(t.time_in_recovery(Time::seconds(10)), Time::seconds(3));
+}
+
+TEST(PhaseTracer, OpenIntervalClampsToHorizon) {
+  PhaseTracer t;
+  t.on_phase(Time::seconds(2), TcpPhase::kFastRecovery);
+  EXPECT_EQ(t.time_in_recovery(Time::seconds(6)), Time::seconds(4));
+  EXPECT_TRUE(t.last_recovery_end().is_infinite());
+}
+
+TEST(PhaseTracer, NoRecoveryMeansInfinity) {
+  PhaseTracer t;
+  t.on_phase(Time::seconds(1), TcpPhase::kSlowStart);
+  EXPECT_TRUE(t.first_recovery_start().is_infinite());
+  EXPECT_EQ(t.time_in_recovery(Time::seconds(10)), Time::zero());
+}
+
+TEST(ThroughputMeter, IgnoresDupAcks) {
+  ThroughputMeter m;
+  m.on_ack(Time::seconds(1), 1000, false);
+  m.on_ack(Time::seconds(2), 1000, true);  // dup: not a progress sample
+  m.on_ack(Time::seconds(3), 4000, false);
+  EXPECT_EQ(m.bytes_acked_at(Time::seconds(2)), 1000u);
+  EXPECT_EQ(m.bytes_acked_between(Time::seconds(1), Time::seconds(3)), 3000u);
+}
+
+TEST(ThroughputMeter, ThroughputBps) {
+  ThroughputMeter m;
+  m.on_ack(Time::seconds(0), 0, false);
+  m.on_ack(Time::seconds(10), 100'000, false);
+  EXPECT_DOUBLE_EQ(m.throughput_bps(Time::zero(), Time::seconds(10)),
+                   80'000.0);
+}
+
+TEST(ThroughputMeter, TimeToAck) {
+  ThroughputMeter m;
+  m.on_ack(Time::seconds(1), 1000, false);
+  m.on_ack(Time::seconds(5), 9000, false);
+  EXPECT_EQ(m.time_to_ack(500), Time::seconds(1));
+  EXPECT_EQ(m.time_to_ack(1000), Time::seconds(1));
+  EXPECT_EQ(m.time_to_ack(1001), Time::seconds(5));
+  EXPECT_TRUE(m.time_to_ack(10'000).is_infinite());
+}
+
+TEST(Table, PrintsAlignedCells) {
+  Table t{{"name", "value"}};
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  char buf[512] = {};
+  std::FILE* f = fmemopen(buf, sizeof buf, "w");
+  t.print(f);
+  std::fclose(f);
+  const std::string out{buf};
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+  EXPECT_NE(out.find("+-------+-------+"), std::string::npos);
+}
+
+TEST(Table, CellFormats) {
+  EXPECT_EQ(Table::cell("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(Table::cell("%d%%", 42), "42%");
+}
+
+TEST(Series, PrintsGnuplotColumns) {
+  char buf[512] = {};
+  std::FILE* f = fmemopen(buf, sizeof buf, "w");
+  print_series("demo", {"x", "y"}, {{1.0, 2.0}, {10.0, 20.0}}, f);
+  std::fclose(f);
+  const std::string out{buf};
+  EXPECT_NE(out.find("# demo"), std::string::npos);
+  EXPECT_NE(out.find("1.00000"), std::string::npos);
+  EXPECT_NE(out.find("20.00000"), std::string::npos);
+}
+
+TEST(TableDeath, RowWidthMismatchAborts) {
+  Table t{{"a", "b"}};
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace rrtcp::stats

@@ -1,0 +1,111 @@
+// State-machine tests for the related-work recovery schemes (right-edge
+// recovery and Lin-Kung) the paper's introduction discusses.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "tcp/related_work.hpp"
+
+namespace rrtcp::tcp {
+namespace {
+
+using test::SenderHarness;
+
+TcpConfig cwnd8() {
+  TcpConfig cfg;
+  cfg.init_cwnd_pkts = 8;
+  return cfg;
+}
+
+TEST(RightEdge, EntryMatchesNewReno) {
+  SenderHarness<RightEdgeSender> h{cwnd8()};
+  h.sender().start();
+  h.wire.clear();
+  h.dupacks(3);
+  EXPECT_TRUE(h.sender().in_recovery());
+  EXPECT_EQ(h.sender().ssthresh_bytes(), 4000u);
+  EXPECT_EQ(h.sent_seqs(), (std::vector<std::uint64_t>{0}));
+}
+
+TEST(RightEdge, EveryDupAckReleasesOneNewPacket) {
+  // The defining feature: one new packet per dup ACK during recovery —
+  // not gated on cwnd inflation crossing the flight size.
+  SenderHarness<RightEdgeSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(3);
+  h.wire.clear();
+  h.dupacks(4);
+  EXPECT_EQ(h.sent_seqs(),
+            (std::vector<std::uint64_t>{8000, 9000, 10'000, 11'000}));
+}
+
+TEST(RightEdge, PartialAckRepairsHoleAndStays) {
+  SenderHarness<RightEdgeSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(3);
+  h.wire.clear();
+  h.ack(4000);
+  EXPECT_TRUE(h.sender().in_recovery());
+  ASSERT_GE(h.sent_seqs().size(), 1u);
+  EXPECT_EQ(h.sent_seqs()[0], 4000u);
+}
+
+TEST(RightEdge, FullAckExits) {
+  SenderHarness<RightEdgeSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(3);
+  h.ack(8000);
+  EXPECT_FALSE(h.sender().in_recovery());
+  EXPECT_EQ(h.sender().cwnd_bytes(), 4000u);
+}
+
+TEST(LinKung, FirstTwoDupAcksEachReleaseNewData) {
+  // The defining feature: dup ACKs 1 and 2 (BEFORE fast retransmit) each
+  // clock out one new packet.
+  SenderHarness<LinKungSender> h{cwnd8()};
+  h.sender().start();
+  h.wire.clear();
+  h.dupacks(1);
+  EXPECT_EQ(h.sent_seqs(), (std::vector<std::uint64_t>{8000}));
+  h.dupacks(1);
+  EXPECT_EQ(h.sent_seqs(), (std::vector<std::uint64_t>{8000, 9000}));
+  EXPECT_FALSE(h.sender().in_recovery());
+}
+
+TEST(LinKung, ThirdDupAckEntersNewRenoRecovery) {
+  SenderHarness<LinKungSender> h{cwnd8()};
+  h.sender().start();
+  h.wire.clear();
+  h.dupacks(3);
+  EXPECT_TRUE(h.sender().in_recovery());
+  // Sent: new data on dups 1,2 then the retransmission on dup 3.
+  auto seqs = h.sent_seqs();
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_EQ(seqs[2], 0u);
+  EXPECT_EQ(h.sender().ssthresh_bytes(), 4000u);
+}
+
+TEST(LinKung, ReorderingCostsNothing) {
+  // Two dup ACKs caused by reordering, then the "missing" segment's ACK:
+  // Lin-Kung used the dup ACKs productively and never slowed down.
+  SenderHarness<LinKungSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(2);
+  const auto cwnd = h.sender().cwnd_bytes();
+  h.ack(3000);  // reordering resolved, no loss
+  EXPECT_FALSE(h.sender().in_recovery());
+  EXPECT_GT(h.sender().cwnd_bytes(), cwnd);  // normal growth continued
+  EXPECT_EQ(h.sender().stats().fast_retransmits, 0u);
+}
+
+TEST(LinKung, PreRecoverySendsRespectReceiverWindow) {
+  TcpConfig cfg = cwnd8();
+  cfg.max_window_pkts = 8;  // flight already at the cap
+  SenderHarness<LinKungSender> h{cfg};
+  h.sender().start();
+  h.wire.clear();
+  h.dupacks(2);
+  EXPECT_TRUE(h.wire.data().empty());  // nothing beyond the window
+}
+
+}  // namespace
+}  // namespace rrtcp::tcp

@@ -1,0 +1,105 @@
+#include "tcp/rto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rrtcp::tcp {
+namespace {
+
+using sim::Time;
+
+TcpConfig fine_cfg() {
+  TcpConfig cfg;
+  cfg.min_rto = Time::milliseconds(1);
+  cfg.max_rto = Time::seconds(64);
+  cfg.rto_granularity = Time::zero();  // exact arithmetic for unit tests
+  return cfg;
+}
+
+TEST(Rto, InitialRtoBeforeAnySample) {
+  TcpConfig cfg;
+  RtoEstimator e{cfg};
+  EXPECT_FALSE(e.has_samples());
+  EXPECT_EQ(e.rto(), cfg.initial_rto);
+}
+
+TEST(Rto, FirstSampleSetsSrttAndVar) {
+  RtoEstimator e{fine_cfg()};
+  e.sample(Time::milliseconds(200));
+  EXPECT_EQ(e.srtt(), Time::milliseconds(200));
+  EXPECT_EQ(e.rttvar(), Time::milliseconds(100));
+  // RTO = srtt + 4*rttvar = 600 ms.
+  EXPECT_EQ(e.rto(), Time::milliseconds(600));
+}
+
+TEST(Rto, ConvergesOnConstantRtt) {
+  RtoEstimator e{fine_cfg()};
+  for (int i = 0; i < 200; ++i) e.sample(Time::milliseconds(100));
+  EXPECT_NEAR(e.srtt().to_seconds(), 0.100, 0.001);
+  EXPECT_LT(e.rttvar(), Time::milliseconds(2));
+  // RTO floors at min_rto... which is 1ms here, so ~srtt.
+  EXPECT_LT(e.rto(), Time::milliseconds(110));
+}
+
+TEST(Rto, VarianceGrowsWithJitter) {
+  RtoEstimator lo{fine_cfg()}, hi{fine_cfg()};
+  for (int i = 0; i < 100; ++i) {
+    lo.sample(Time::milliseconds(100));
+    hi.sample(Time::milliseconds(i % 2 ? 50 : 150));
+  }
+  EXPECT_GT(hi.rttvar(), lo.rttvar());
+  EXPECT_GT(hi.rto(), lo.rto());
+}
+
+TEST(Rto, BackoffDoubles) {
+  RtoEstimator e{fine_cfg()};
+  e.sample(Time::milliseconds(100));
+  const Time base = e.rto();
+  e.backoff();
+  EXPECT_EQ(e.rto(), base * 2);
+  e.backoff();
+  EXPECT_EQ(e.rto(), base * 4);
+}
+
+TEST(Rto, BackoffCapsAtMax) {
+  RtoEstimator e{fine_cfg()};
+  e.sample(Time::milliseconds(500));
+  for (int i = 0; i < 40; ++i) e.backoff();
+  EXPECT_EQ(e.rto(), Time::seconds(64));
+}
+
+TEST(Rto, SampleResetsBackoff) {
+  RtoEstimator e{fine_cfg()};
+  e.sample(Time::milliseconds(100));
+  e.backoff();
+  e.backoff();
+  EXPECT_EQ(e.backoff_count(), 2);
+  e.sample(Time::milliseconds(100));
+  EXPECT_EQ(e.backoff_count(), 0);
+}
+
+TEST(Rto, RespectsMinimum) {
+  TcpConfig cfg;  // default min_rto = 1 s (coarse timers of the era)
+  RtoEstimator e{cfg};
+  for (int i = 0; i < 50; ++i) e.sample(Time::milliseconds(10));
+  EXPECT_EQ(e.rto(), cfg.min_rto);
+}
+
+TEST(Rto, GranularityRoundsUp) {
+  TcpConfig cfg;
+  cfg.min_rto = Time::milliseconds(1);
+  cfg.rto_granularity = Time::milliseconds(500);
+  RtoEstimator e{cfg};
+  e.sample(Time::milliseconds(200));  // raw RTO 600 ms -> 1000 ms rounded
+  EXPECT_EQ(e.rto(), Time::milliseconds(1000));
+}
+
+TEST(Rto, ClampedToMaxEvenWithHugeSamples) {
+  auto cfg = fine_cfg();
+  cfg.max_rto = Time::seconds(10);
+  RtoEstimator e{cfg};
+  e.sample(Time::seconds(30));
+  EXPECT_EQ(e.rto(), Time::seconds(10));
+}
+
+}  // namespace
+}  // namespace rrtcp::tcp

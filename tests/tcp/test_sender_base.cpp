@@ -1,0 +1,214 @@
+// Tests of the shared sender machinery (window growth, segmentation,
+// timers, RTT sampling) using TahoeSender as the concrete vehicle.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "tcp/tahoe.hpp"
+
+namespace rrtcp::tcp {
+namespace {
+
+using test::SenderHarness;
+
+TcpConfig cfg_with_cwnd(std::uint64_t pkts, std::uint64_t ssthresh = 64) {
+  TcpConfig cfg;
+  cfg.init_cwnd_pkts = pkts;
+  cfg.init_ssthresh_pkts = ssthresh;
+  return cfg;
+}
+
+TEST(SenderBase, StartSendsInitialWindow) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(4)};
+  h.sender().start();
+  EXPECT_EQ(h.sent_seqs(), (std::vector<std::uint64_t>{0, 1000, 2000, 3000}));
+  EXPECT_EQ(h.sender().snd_nxt(), 4000u);
+  EXPECT_EQ(h.sender().flight_bytes(), 4000u);
+}
+
+TEST(SenderBase, FiniteTransferHasShortTail) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(4)};
+  h.sender().set_app_bytes(2500);
+  h.sender().start();
+  auto data = h.wire.data();
+  ASSERT_EQ(data.size(), 3u);
+  EXPECT_EQ(data[2].tcp.seq, 2000u);
+  EXPECT_EQ(data[2].tcp.payload, 500u);
+  EXPECT_EQ(h.sender().snd_nxt(), 2500u);
+}
+
+TEST(SenderBase, SlowStartGrowsOnePacketPerAck) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(1)};
+  h.sender().start();
+  EXPECT_EQ(h.sender().cwnd_packets(), 1.0);
+  h.ack(1000);
+  EXPECT_EQ(h.sender().cwnd_packets(), 2.0);
+  h.ack(2000);
+  EXPECT_EQ(h.sender().cwnd_packets(), 3.0);
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kSlowStart);
+}
+
+TEST(SenderBase, SlowStartExponentialPerRtt) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(1)};
+  h.sender().start();
+  // "RTT" 1: ACK the one outstanding packet -> 2 sent. "RTT" 2: ACK both
+  // -> 4 sent. Window doubles per round.
+  h.wire.clear();
+  h.ack(1000);
+  EXPECT_EQ(h.wire.data().size(), 2u);
+  h.wire.clear();
+  h.ack(2000);
+  h.ack(3000);
+  EXPECT_EQ(h.wire.data().size(), 4u);
+}
+
+TEST(SenderBase, CongestionAvoidanceIsLinear) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(4, /*ssthresh=*/1)};
+  h.sender().start();
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kCongestionAvoidance);
+  const double before = h.sender().cwnd_packets();
+  // One full window of ACKs grows cwnd by roughly one packet.
+  for (int i = 1; i <= 4; ++i) h.ack(i * 1000);
+  EXPECT_NEAR(h.sender().cwnd_packets(), before + 1.0, 0.3);
+}
+
+TEST(SenderBase, PhaseFlipsAtSsthresh) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(1, /*ssthresh=*/3)};
+  h.sender().start();
+  h.ack(1000);  // cwnd 2 < 3
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kSlowStart);
+  h.ack(2000);  // cwnd 3 >= 3
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kCongestionAvoidance);
+}
+
+TEST(SenderBase, ReceiverWindowCapsFlight) {
+  TcpConfig cfg = cfg_with_cwnd(10);
+  cfg.max_window_pkts = 2;
+  SenderHarness<TahoeSender> h{cfg};
+  h.sender().start();
+  EXPECT_EQ(h.wire.data().size(), 2u);
+  EXPECT_EQ(h.sender().flight_bytes(), 2000u);
+}
+
+TEST(SenderBase, DupAcksDoNotGrowWindow) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(4)};
+  h.sender().start();
+  const auto cwnd = h.sender().cwnd_bytes();
+  h.dupacks(2);
+  EXPECT_EQ(h.sender().cwnd_bytes(), cwnd);
+  EXPECT_EQ(h.sender().dupacks(), 2);
+}
+
+TEST(SenderBase, OldAcksIgnored) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(4)};
+  h.sender().start();
+  h.ack(2000);
+  const auto stats_before = h.sender().stats();
+  h.ack(1000);  // below snd_una: ignored entirely
+  EXPECT_EQ(h.sender().snd_una(), 2000u);
+  EXPECT_EQ(h.sender().dupacks(), 0);
+  EXPECT_EQ(h.sender().stats().dupacks_received,
+            stats_before.dupacks_received);
+}
+
+TEST(SenderBase, CompletionDetected) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(4)};
+  h.sender().set_app_bytes(3000);
+  bool done = false;
+  h.sender().set_complete_callback([&](sim::Time) { done = true; });
+  h.sender().start();
+  h.ack(3000);
+  EXPECT_TRUE(h.sender().complete());
+  EXPECT_TRUE(done);
+}
+
+TEST(SenderBase, RtoRetransmitsFirstSegment) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(4)};
+  h.sender().start();
+  h.wire.clear();
+  h.sim.run_until(sim::Time::seconds(10));
+  // Initial RTO is 3 s; expect at least one timeout and a retransmission
+  // of segment 0.
+  EXPECT_GE(h.sender().stats().timeouts, 1u);
+  auto data = h.wire.data();
+  ASSERT_GE(data.size(), 1u);
+  EXPECT_EQ(data[0].tcp.seq, 0u);
+  EXPECT_EQ(h.sender().cwnd_bytes(), 1000u);
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kRtoRecovery);
+}
+
+TEST(SenderBase, RtoBacksOffExponentially) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(1)};
+  h.sender().start();
+  // Initial RTO 3 s; back-offs double: next fire 6 s later (t=9), then
+  // 12 s later (t=21). By t=22 we expect exactly 3 timeouts.
+  h.sim.run_until(sim::Time::seconds(22));
+  EXPECT_EQ(h.sender().stats().timeouts, 3u);
+  // And not a fourth before t=45.
+  h.sim.run_until(sim::Time::seconds(44));
+  EXPECT_EQ(h.sender().stats().timeouts, 3u);
+}
+
+TEST(SenderBase, AckCancelsRtoWhenAllDataAcked) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(2)};
+  h.sender().set_app_bytes(2000);
+  h.sender().start();
+  h.ack(2000);
+  h.sim.run_until(sim::Time::seconds(60));
+  EXPECT_EQ(h.sender().stats().timeouts, 0u);
+}
+
+TEST(SenderBase, RttSamplesFeedEstimator) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(1)};
+  h.sender().start();
+  h.sim.run_until(sim::Time::milliseconds(80));
+  h.ack(1000);
+  EXPECT_EQ(h.sender().stats().rtt_samples, 1u);
+}
+
+TEST(SenderBase, KarnNoSampleFromRetransmittedSegment) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(4)};
+  h.sender().start();
+  // Force a timeout, which retransmits segment 0.
+  h.sim.run_until(sim::Time::seconds(4));
+  ASSERT_GE(h.sender().stats().timeouts, 1u);
+  h.ack(1000);  // covers a retransmitted range: must not be sampled
+  EXPECT_EQ(h.sender().stats().rtt_samples, 0u);
+}
+
+TEST(SenderBase, ObserversSeeSendsAndAcks) {
+  struct Counter : SenderObserver {
+    int sends = 0, acks = 0, dups = 0;
+    void on_send(sim::Time, std::uint64_t, std::uint32_t, bool) override {
+      ++sends;
+    }
+    void on_ack(sim::Time, std::uint64_t, bool dup) override {
+      ++(dup ? dups : acks);
+    }
+  } counter;
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(2)};
+  h.sender().add_observer(&counter);
+  h.sender().start();
+  h.ack(1000);
+  h.dupacks(1);
+  EXPECT_GE(counter.sends, 2);
+  EXPECT_EQ(counter.acks, 1);
+  EXPECT_EQ(counter.dups, 1);
+}
+
+TEST(SenderBase, StatsCountFirstTransmissionsSeparately) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(4)};
+  h.sender().start();
+  h.sim.run_until(sim::Time::seconds(4));  // one RTO -> one retransmission
+  const auto& st = h.sender().stats();
+  EXPECT_EQ(st.data_packets_sent, 4u);
+  EXPECT_GE(st.retransmissions, 1u);
+}
+
+TEST(SenderBaseDeath, DoubleStartAborts) {
+  SenderHarness<TahoeSender> h{cfg_with_cwnd(1)};
+  h.sender().start();
+  EXPECT_DEATH(h.sender().start(), "started twice");
+}
+
+}  // namespace
+}  // namespace rrtcp::tcp

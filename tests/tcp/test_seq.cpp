@@ -1,0 +1,70 @@
+#include "tcp/seq.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rrtcp::tcp {
+namespace {
+
+TEST(Seq32, PlainOrdering) {
+  EXPECT_LT(Seq32{100}, Seq32{200});
+  EXPECT_GT(Seq32{200}, Seq32{100});
+  EXPECT_LE(Seq32{100}, Seq32{100});
+  EXPECT_GE(Seq32{100}, Seq32{100});
+  EXPECT_EQ(Seq32{7}, Seq32{7});
+  EXPECT_NE(Seq32{7}, Seq32{8});
+}
+
+TEST(Seq32, OrderingAcrossWrap) {
+  const Seq32 before_wrap{0xFFFFFFF0u};
+  const Seq32 after_wrap{0x00000010u};
+  EXPECT_LT(before_wrap, after_wrap);
+  EXPECT_GT(after_wrap, before_wrap);
+}
+
+TEST(Seq32, AdditionWraps) {
+  Seq32 s{0xFFFFFFFFu};
+  EXPECT_EQ((s + 1).raw(), 0u);
+  EXPECT_EQ((s + 1001).raw(), 1000u);
+}
+
+TEST(Seq32, SubtractionGivesSignedDistance) {
+  EXPECT_EQ(Seq32{2000} - Seq32{1000}, 1000);
+  EXPECT_EQ(Seq32{1000} - Seq32{2000}, -1000);
+  // Across the wrap point.
+  EXPECT_EQ(Seq32{16} - Seq32{0xFFFFFFF0u}, 32);
+}
+
+TEST(Seq32, CompoundAdd) {
+  Seq32 s{0xFFFFFFFEu};
+  s += 4;
+  EXPECT_EQ(s.raw(), 2u);
+}
+
+TEST(Seq32, HalfRangeBoundary) {
+  // Exactly 2^31 apart the ordering is genuinely ambiguous (RFC 1982):
+  // the signed distance is INT32_MIN from both directions, so each
+  // compares "less" than the other. Real windows must stay < 2^31.
+  const Seq32 a{0};
+  const Seq32 b{0x80000000u};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < a);
+  EXPECT_TRUE(b - a < 0);
+  EXPECT_TRUE(a - b < 0);
+}
+
+TEST(Seq32, InWindowBasic) {
+  EXPECT_TRUE(in_window(Seq32{150}, Seq32{100}, 100));
+  EXPECT_TRUE(in_window(Seq32{100}, Seq32{100}, 100));   // inclusive low
+  EXPECT_FALSE(in_window(Seq32{200}, Seq32{100}, 100));  // exclusive high
+  EXPECT_FALSE(in_window(Seq32{99}, Seq32{100}, 100));
+}
+
+TEST(Seq32, InWindowAcrossWrap) {
+  const Seq32 lo{0xFFFFFFF0u};
+  EXPECT_TRUE(in_window(Seq32{0xFFFFFFFFu}, lo, 64));
+  EXPECT_TRUE(in_window(Seq32{8}, lo, 64));
+  EXPECT_FALSE(in_window(Seq32{100}, lo, 64));
+}
+
+}  // namespace
+}  // namespace rrtcp::tcp

@@ -1,0 +1,210 @@
+// State-machine tests for the Tahoe, Reno and New-Reno variants, driven by
+// hand-crafted ACK streams.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "tcp/newreno.hpp"
+#include "tcp/reno.hpp"
+#include "tcp/tahoe.hpp"
+
+namespace rrtcp::tcp {
+namespace {
+
+using test::SenderHarness;
+
+TcpConfig cwnd8() {
+  TcpConfig cfg;
+  cfg.init_cwnd_pkts = 8;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- Tahoe
+
+TEST(Tahoe, TwoDupAcksAreIgnored) {
+  SenderHarness<TahoeSender> h{cwnd8()};
+  h.sender().start();
+  h.wire.clear();
+  h.dupacks(2);
+  EXPECT_TRUE(h.wire.packets.empty());
+  EXPECT_EQ(h.sender().cwnd_packets(), 8.0);
+  EXPECT_EQ(h.sender().stats().fast_retransmits, 0u);
+}
+
+TEST(Tahoe, ThirdDupAckCollapsesToSlowStart) {
+  SenderHarness<TahoeSender> h{cwnd8()};
+  h.sender().start();
+  h.wire.clear();
+  h.dupacks(3);
+  EXPECT_EQ(h.sender().stats().fast_retransmits, 1u);
+  EXPECT_EQ(h.sender().ssthresh_bytes(), 4000u);  // half of the window
+  EXPECT_EQ(h.sender().cwnd_bytes(), 1000u);
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kSlowStart);
+  // Exactly the first lost segment goes out (go-back-N restart).
+  EXPECT_EQ(h.sent_seqs(), (std::vector<std::uint64_t>{0}));
+  EXPECT_TRUE(h.wire.data()[0].tcp.seq == 0);
+}
+
+TEST(Tahoe, GoBackNResendsSuffix) {
+  SenderHarness<TahoeSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(3);
+  h.wire.clear();
+  // The rtx of 0 is ACKed cumulatively to 4000 (receiver had 1..3 cached):
+  // slow start resumes from 4000, resending data already transmitted once.
+  h.ack(4000);
+  auto seqs = h.sent_seqs();
+  ASSERT_EQ(seqs.size(), 2u);  // cwnd 2 packets
+  EXPECT_EQ(seqs[0], 4000u);
+  EXPECT_EQ(seqs[1], 5000u);
+  EXPECT_GE(h.sender().stats().retransmissions, 3u);  // 0, 4000, 5000
+}
+
+TEST(Tahoe, FurtherDupAcksDuringSlowStartIgnoredUntilThreshold) {
+  SenderHarness<TahoeSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(3);
+  h.wire.clear();
+  h.dupacks(2);  // dupack count restarted; below threshold again
+  EXPECT_TRUE(h.wire.packets.empty());
+}
+
+// ----------------------------------------------------------------- Reno
+
+TEST(Reno, EntryHalvesAndInflatesByThree) {
+  SenderHarness<RenoSender> h{cwnd8()};
+  h.sender().start();
+  h.wire.clear();
+  h.dupacks(3);
+  EXPECT_TRUE(h.sender().in_recovery());
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kFastRecovery);
+  EXPECT_EQ(h.sender().ssthresh_bytes(), 4000u);
+  EXPECT_EQ(h.sender().cwnd_bytes(), 7000u);  // ssthresh + 3 MSS
+  EXPECT_EQ(h.sent_seqs(), (std::vector<std::uint64_t>{0}));  // the rtx
+}
+
+TEST(Reno, InflationReleasesNewDataWhenWindowOpens) {
+  SenderHarness<RenoSender> h{cwnd8()};
+  h.sender().start();  // flight 8000
+  h.dupacks(3);        // cwnd 7000 < flight: nothing new yet
+  h.wire.clear();
+  h.dupacks(1);  // cwnd 8000 == flight: still nothing
+  EXPECT_TRUE(h.wire.data().empty());
+  h.dupacks(1);  // cwnd 9000 > flight: one new packet
+  auto seqs = h.sent_seqs();
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0], 8000u);  // new data beyond maxseq
+}
+
+TEST(Reno, AnyNewAckDeflatesAndExits) {
+  SenderHarness<RenoSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(3);
+  h.ack(4000);  // partial coverage, but Reno can't tell: exits anyway
+  EXPECT_FALSE(h.sender().in_recovery());
+  EXPECT_EQ(h.sender().cwnd_bytes(), 4000u);  // deflated to ssthresh
+}
+
+TEST(Reno, SecondBurstLossHalvesAgain) {
+  SenderHarness<RenoSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(3);
+  h.ack(4000);  // first exit: cwnd 4000
+  h.dupacks(3);  // second loss in the same original window
+  EXPECT_TRUE(h.sender().in_recovery());
+  EXPECT_EQ(h.sender().ssthresh_bytes(), 2000u);  // halved again: 4000/2
+}
+
+TEST(Reno, TimeoutClearsRecovery) {
+  SenderHarness<RenoSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(3);
+  ASSERT_TRUE(h.sender().in_recovery());
+  h.sim.run_until(sim::Time::seconds(5));
+  EXPECT_GE(h.sender().stats().timeouts, 1u);
+  EXPECT_FALSE(h.sender().in_recovery());
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kRtoRecovery);
+}
+
+// -------------------------------------------------------------- New-Reno
+
+TEST(NewReno, EntryRecordsRecoverPoint) {
+  SenderHarness<NewRenoSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(3);
+  EXPECT_TRUE(h.sender().in_recovery());
+  EXPECT_EQ(h.sender().recover_point(), 8000u);
+}
+
+TEST(NewReno, PartialAckRetransmitsNextHoleAndStays) {
+  SenderHarness<NewRenoSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(3);
+  h.wire.clear();
+  h.ack(4000);  // partial: hole at 4000
+  EXPECT_TRUE(h.sender().in_recovery());
+  auto seqs = h.sent_seqs();
+  ASSERT_GE(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0], 4000u);
+  // Deflation: 7000 - 4000 acked + 1000 = 4000.
+  EXPECT_EQ(h.sender().cwnd_bytes(), 4000u);
+}
+
+TEST(NewReno, RecoversOneHolePerPartialAck) {
+  SenderHarness<NewRenoSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(3);  // rtx 0
+  h.wire.clear();
+  h.ack(2000);  // hole at 2000
+  h.ack(5000);  // hole at 5000
+  auto seqs = h.sent_seqs();
+  ASSERT_GE(seqs.size(), 2u);
+  EXPECT_EQ(seqs[0], 2000u);
+  EXPECT_EQ(seqs[1], 5000u);
+  EXPECT_TRUE(h.sender().in_recovery());
+}
+
+TEST(NewReno, FullAckExitsToSsthresh) {
+  SenderHarness<NewRenoSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(3);
+  h.ack(8000);  // ack == recover: full
+  EXPECT_FALSE(h.sender().in_recovery());
+  EXPECT_EQ(h.sender().cwnd_bytes(), 4000u);
+  EXPECT_EQ(h.sender().phase(), TcpPhase::kCongestionAvoidance);
+}
+
+TEST(NewReno, DupAcksInflateDuringRecovery) {
+  SenderHarness<NewRenoSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(3);
+  const auto before = h.sender().cwnd_bytes();
+  h.dupacks(2);
+  EXPECT_EQ(h.sender().cwnd_bytes(), before + 2000u);
+}
+
+TEST(NewReno, NoSecondFastRetransmitAfterTimeoutForOldData) {
+  SenderHarness<NewRenoSender> h{cwnd8()};
+  h.sender().start();
+  h.sim.run_until(sim::Time::seconds(4));  // RTO fires
+  ASSERT_GE(h.sender().stats().timeouts, 1u);
+  h.wire.clear();
+  h.dupacks(3);  // dup ACKs for pre-timeout data must not re-trigger
+  EXPECT_FALSE(h.sender().in_recovery());
+  EXPECT_EQ(h.sender().stats().fast_retransmits, 0u);
+}
+
+TEST(NewReno, PartialAckSendsAtMostOneNewSegment) {
+  // The paper's observation: one new packet per two dup ACKs, and a
+  // bounded release on partial ACKs — never a burst.
+  SenderHarness<NewRenoSender> h{cwnd8()};
+  h.sender().start();
+  h.dupacks(3);
+  for (int i = 0; i < 4; ++i) h.dupacks(1);  // inflate cwnd well past flight
+  h.wire.clear();
+  h.ack(1000);  // partial ack
+  // One retransmission (hole) + at most one new segment.
+  EXPECT_LE(h.wire.data().size(), 2u);
+}
+
+}  // namespace
+}  // namespace rrtcp::tcp
