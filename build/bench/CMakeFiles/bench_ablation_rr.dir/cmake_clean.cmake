@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rr.dir/bench_ablation_rr.cpp.o"
+  "CMakeFiles/bench_ablation_rr.dir/bench_ablation_rr.cpp.o.d"
+  "bench_ablation_rr"
+  "bench_ablation_rr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_droptail.dir/bench_fig5_droptail.cpp.o"
+  "CMakeFiles/bench_fig5_droptail.dir/bench_fig5_droptail.cpp.o.d"
+  "bench_fig5_droptail"
+  "bench_fig5_droptail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_droptail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_red.cpp" "bench/CMakeFiles/bench_fig6_red.dir/bench_fig6_red.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_red.dir/bench_fig6_red.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrtcp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

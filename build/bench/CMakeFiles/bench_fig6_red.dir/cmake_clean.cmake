@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_red.dir/bench_fig6_red.cpp.o"
+  "CMakeFiles/bench_fig6_red.dir/bench_fig6_red.cpp.o.d"
+  "bench_fig6_red"
+  "bench_fig6_red.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_red.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

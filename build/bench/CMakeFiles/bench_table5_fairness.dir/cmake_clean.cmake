@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fairness.dir/bench_table5_fairness.cpp.o"
+  "CMakeFiles/bench_table5_fairness.dir/bench_table5_fairness.cpp.o.d"
+  "bench_table5_fairness"
+  "bench_table5_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_loss_recovery.dir/bursty_loss_recovery.cpp.o"
+  "CMakeFiles/bursty_loss_recovery.dir/bursty_loss_recovery.cpp.o.d"
+  "bursty_loss_recovery"
+  "bursty_loss_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_loss_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

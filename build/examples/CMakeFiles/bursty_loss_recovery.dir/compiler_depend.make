@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bursty_loss_recovery.
+# This may be replaced when dependencies are built.

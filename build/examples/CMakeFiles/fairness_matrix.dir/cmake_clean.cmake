@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_matrix.dir/fairness_matrix.cpp.o"
+  "CMakeFiles/fairness_matrix.dir/fairness_matrix.cpp.o.d"
+  "fairness_matrix"
+  "fairness_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

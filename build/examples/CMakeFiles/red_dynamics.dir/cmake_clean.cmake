@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/red_dynamics.dir/red_dynamics.cpp.o"
+  "CMakeFiles/red_dynamics.dir/red_dynamics.cpp.o.d"
+  "red_dynamics"
+  "red_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/red_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

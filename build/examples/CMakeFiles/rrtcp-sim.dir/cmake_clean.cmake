@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrtcp-sim.dir/rrtcp_sim.cpp.o"
+  "CMakeFiles/rrtcp-sim.dir/rrtcp_sim.cpp.o.d"
+  "rrtcp-sim"
+  "rrtcp-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrtcp-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/flow_factory.cpp" "src/CMakeFiles/rrtcp_app.dir/app/flow_factory.cpp.o" "gcc" "src/CMakeFiles/rrtcp_app.dir/app/flow_factory.cpp.o.d"
+  "/root/repo/src/app/ftp.cpp" "src/CMakeFiles/rrtcp_app.dir/app/ftp.cpp.o" "gcc" "src/CMakeFiles/rrtcp_app.dir/app/ftp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrtcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrtcp_app.dir/app/flow_factory.cpp.o"
+  "CMakeFiles/rrtcp_app.dir/app/flow_factory.cpp.o.d"
+  "CMakeFiles/rrtcp_app.dir/app/ftp.cpp.o"
+  "CMakeFiles/rrtcp_app.dir/app/ftp.cpp.o.d"
+  "librrtcp_app.a"
+  "librrtcp_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrtcp_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

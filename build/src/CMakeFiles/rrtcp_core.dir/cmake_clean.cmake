@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrtcp_core.dir/core/rr_sender.cpp.o"
+  "CMakeFiles/rrtcp_core.dir/core/rr_sender.cpp.o.d"
+  "librrtcp_core.a"
+  "librrtcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrtcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrtcp_model.dir/model/mathis.cpp.o"
+  "CMakeFiles/rrtcp_model.dir/model/mathis.cpp.o.d"
+  "CMakeFiles/rrtcp_model.dir/model/padhye.cpp.o"
+  "CMakeFiles/rrtcp_model.dir/model/padhye.cpp.o.d"
+  "librrtcp_model.a"
+  "librrtcp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrtcp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/drop_tail.cpp" "src/CMakeFiles/rrtcp_net.dir/net/drop_tail.cpp.o" "gcc" "src/CMakeFiles/rrtcp_net.dir/net/drop_tail.cpp.o.d"
+  "/root/repo/src/net/dumbbell.cpp" "src/CMakeFiles/rrtcp_net.dir/net/dumbbell.cpp.o" "gcc" "src/CMakeFiles/rrtcp_net.dir/net/dumbbell.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/rrtcp_net.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/rrtcp_net.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/loss_model.cpp" "src/CMakeFiles/rrtcp_net.dir/net/loss_model.cpp.o" "gcc" "src/CMakeFiles/rrtcp_net.dir/net/loss_model.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/rrtcp_net.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/rrtcp_net.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/rrtcp_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/rrtcp_net.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/red.cpp" "src/CMakeFiles/rrtcp_net.dir/net/red.cpp.o" "gcc" "src/CMakeFiles/rrtcp_net.dir/net/red.cpp.o.d"
+  "/root/repo/src/net/reorder.cpp" "src/CMakeFiles/rrtcp_net.dir/net/reorder.cpp.o" "gcc" "src/CMakeFiles/rrtcp_net.dir/net/reorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrtcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrtcp_net.dir/net/drop_tail.cpp.o"
+  "CMakeFiles/rrtcp_net.dir/net/drop_tail.cpp.o.d"
+  "CMakeFiles/rrtcp_net.dir/net/dumbbell.cpp.o"
+  "CMakeFiles/rrtcp_net.dir/net/dumbbell.cpp.o.d"
+  "CMakeFiles/rrtcp_net.dir/net/link.cpp.o"
+  "CMakeFiles/rrtcp_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/rrtcp_net.dir/net/loss_model.cpp.o"
+  "CMakeFiles/rrtcp_net.dir/net/loss_model.cpp.o.d"
+  "CMakeFiles/rrtcp_net.dir/net/node.cpp.o"
+  "CMakeFiles/rrtcp_net.dir/net/node.cpp.o.d"
+  "CMakeFiles/rrtcp_net.dir/net/packet.cpp.o"
+  "CMakeFiles/rrtcp_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/rrtcp_net.dir/net/red.cpp.o"
+  "CMakeFiles/rrtcp_net.dir/net/red.cpp.o.d"
+  "CMakeFiles/rrtcp_net.dir/net/reorder.cpp.o"
+  "CMakeFiles/rrtcp_net.dir/net/reorder.cpp.o.d"
+  "librrtcp_net.a"
+  "librrtcp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrtcp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/log.cpp" "src/CMakeFiles/rrtcp_sim.dir/sim/log.cpp.o" "gcc" "src/CMakeFiles/rrtcp_sim.dir/sim/log.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/rrtcp_sim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/rrtcp_sim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/rrtcp_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/rrtcp_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/timer.cpp" "src/CMakeFiles/rrtcp_sim.dir/sim/timer.cpp.o" "gcc" "src/CMakeFiles/rrtcp_sim.dir/sim/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrtcp_sim.dir/sim/log.cpp.o"
+  "CMakeFiles/rrtcp_sim.dir/sim/log.cpp.o.d"
+  "CMakeFiles/rrtcp_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/rrtcp_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/rrtcp_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/rrtcp_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/rrtcp_sim.dir/sim/timer.cpp.o"
+  "CMakeFiles/rrtcp_sim.dir/sim/timer.cpp.o.d"
+  "librrtcp_sim.a"
+  "librrtcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrtcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

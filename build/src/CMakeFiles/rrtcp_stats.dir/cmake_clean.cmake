@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrtcp_stats.dir/stats/table.cpp.o"
+  "CMakeFiles/rrtcp_stats.dir/stats/table.cpp.o.d"
+  "CMakeFiles/rrtcp_stats.dir/stats/throughput.cpp.o"
+  "CMakeFiles/rrtcp_stats.dir/stats/throughput.cpp.o.d"
+  "CMakeFiles/rrtcp_stats.dir/stats/tracer.cpp.o"
+  "CMakeFiles/rrtcp_stats.dir/stats/tracer.cpp.o.d"
+  "librrtcp_stats.a"
+  "librrtcp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrtcp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/newreno.cpp" "src/CMakeFiles/rrtcp_tcp.dir/tcp/newreno.cpp.o" "gcc" "src/CMakeFiles/rrtcp_tcp.dir/tcp/newreno.cpp.o.d"
+  "/root/repo/src/tcp/receiver.cpp" "src/CMakeFiles/rrtcp_tcp.dir/tcp/receiver.cpp.o" "gcc" "src/CMakeFiles/rrtcp_tcp.dir/tcp/receiver.cpp.o.d"
+  "/root/repo/src/tcp/related_work.cpp" "src/CMakeFiles/rrtcp_tcp.dir/tcp/related_work.cpp.o" "gcc" "src/CMakeFiles/rrtcp_tcp.dir/tcp/related_work.cpp.o.d"
+  "/root/repo/src/tcp/reno.cpp" "src/CMakeFiles/rrtcp_tcp.dir/tcp/reno.cpp.o" "gcc" "src/CMakeFiles/rrtcp_tcp.dir/tcp/reno.cpp.o.d"
+  "/root/repo/src/tcp/rto.cpp" "src/CMakeFiles/rrtcp_tcp.dir/tcp/rto.cpp.o" "gcc" "src/CMakeFiles/rrtcp_tcp.dir/tcp/rto.cpp.o.d"
+  "/root/repo/src/tcp/sack.cpp" "src/CMakeFiles/rrtcp_tcp.dir/tcp/sack.cpp.o" "gcc" "src/CMakeFiles/rrtcp_tcp.dir/tcp/sack.cpp.o.d"
+  "/root/repo/src/tcp/scoreboard.cpp" "src/CMakeFiles/rrtcp_tcp.dir/tcp/scoreboard.cpp.o" "gcc" "src/CMakeFiles/rrtcp_tcp.dir/tcp/scoreboard.cpp.o.d"
+  "/root/repo/src/tcp/sender_base.cpp" "src/CMakeFiles/rrtcp_tcp.dir/tcp/sender_base.cpp.o" "gcc" "src/CMakeFiles/rrtcp_tcp.dir/tcp/sender_base.cpp.o.d"
+  "/root/repo/src/tcp/tahoe.cpp" "src/CMakeFiles/rrtcp_tcp.dir/tcp/tahoe.cpp.o" "gcc" "src/CMakeFiles/rrtcp_tcp.dir/tcp/tahoe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrtcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrtcp_tcp.dir/tcp/newreno.cpp.o"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/newreno.cpp.o.d"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/receiver.cpp.o"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/receiver.cpp.o.d"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/related_work.cpp.o"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/related_work.cpp.o.d"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/reno.cpp.o"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/reno.cpp.o.d"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/rto.cpp.o"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/rto.cpp.o.d"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/sack.cpp.o"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/sack.cpp.o.d"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/scoreboard.cpp.o"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/scoreboard.cpp.o.d"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/sender_base.cpp.o"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/sender_base.cpp.o.d"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/tahoe.cpp.o"
+  "CMakeFiles/rrtcp_tcp.dir/tcp/tahoe.cpp.o.d"
+  "librrtcp_tcp.a"
+  "librrtcp_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrtcp_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

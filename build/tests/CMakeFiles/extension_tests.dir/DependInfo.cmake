@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app/test_app.cpp" "tests/CMakeFiles/extension_tests.dir/app/test_app.cpp.o" "gcc" "tests/CMakeFiles/extension_tests.dir/app/test_app.cpp.o.d"
+  "/root/repo/tests/core/test_rr_hardening.cpp" "tests/CMakeFiles/extension_tests.dir/core/test_rr_hardening.cpp.o" "gcc" "tests/CMakeFiles/extension_tests.dir/core/test_rr_hardening.cpp.o.d"
+  "/root/repo/tests/model/test_models.cpp" "tests/CMakeFiles/extension_tests.dir/model/test_models.cpp.o" "gcc" "tests/CMakeFiles/extension_tests.dir/model/test_models.cpp.o.d"
+  "/root/repo/tests/net/test_ecn_reorder.cpp" "tests/CMakeFiles/extension_tests.dir/net/test_ecn_reorder.cpp.o" "gcc" "tests/CMakeFiles/extension_tests.dir/net/test_ecn_reorder.cpp.o.d"
+  "/root/repo/tests/net/test_segment_loss.cpp" "tests/CMakeFiles/extension_tests.dir/net/test_segment_loss.cpp.o" "gcc" "tests/CMakeFiles/extension_tests.dir/net/test_segment_loss.cpp.o.d"
+  "/root/repo/tests/stats/test_stats.cpp" "tests/CMakeFiles/extension_tests.dir/stats/test_stats.cpp.o" "gcc" "tests/CMakeFiles/extension_tests.dir/stats/test_stats.cpp.o.d"
+  "/root/repo/tests/tcp/test_related_work.cpp" "tests/CMakeFiles/extension_tests.dir/tcp/test_related_work.cpp.o" "gcc" "tests/CMakeFiles/extension_tests.dir/tcp/test_related_work.cpp.o.d"
+  "/root/repo/tests/tcp/test_smooth_start.cpp" "tests/CMakeFiles/extension_tests.dir/tcp/test_smooth_start.cpp.o" "gcc" "tests/CMakeFiles/extension_tests.dir/tcp/test_smooth_start.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrtcp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_tests.dir/app/test_app.cpp.o"
+  "CMakeFiles/extension_tests.dir/app/test_app.cpp.o.d"
+  "CMakeFiles/extension_tests.dir/core/test_rr_hardening.cpp.o"
+  "CMakeFiles/extension_tests.dir/core/test_rr_hardening.cpp.o.d"
+  "CMakeFiles/extension_tests.dir/model/test_models.cpp.o"
+  "CMakeFiles/extension_tests.dir/model/test_models.cpp.o.d"
+  "CMakeFiles/extension_tests.dir/net/test_ecn_reorder.cpp.o"
+  "CMakeFiles/extension_tests.dir/net/test_ecn_reorder.cpp.o.d"
+  "CMakeFiles/extension_tests.dir/net/test_segment_loss.cpp.o"
+  "CMakeFiles/extension_tests.dir/net/test_segment_loss.cpp.o.d"
+  "CMakeFiles/extension_tests.dir/stats/test_stats.cpp.o"
+  "CMakeFiles/extension_tests.dir/stats/test_stats.cpp.o.d"
+  "CMakeFiles/extension_tests.dir/tcp/test_related_work.cpp.o"
+  "CMakeFiles/extension_tests.dir/tcp/test_related_work.cpp.o.d"
+  "CMakeFiles/extension_tests.dir/tcp/test_smooth_start.cpp.o"
+  "CMakeFiles/extension_tests.dir/tcp/test_smooth_start.cpp.o.d"
+  "extension_tests"
+  "extension_tests.pdb"
+  "extension_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

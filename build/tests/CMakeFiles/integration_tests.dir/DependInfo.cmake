@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/integration_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_properties.cpp" "tests/CMakeFiles/integration_tests.dir/integration/test_properties.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/test_properties.cpp.o.d"
+  "/root/repo/tests/integration/test_rtt_heterogeneity.cpp" "tests/CMakeFiles/integration_tests.dir/integration/test_rtt_heterogeneity.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/test_rtt_heterogeneity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrtcp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

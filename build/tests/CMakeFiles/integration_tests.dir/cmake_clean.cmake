@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_properties.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_properties.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/test_rtt_heterogeneity.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/test_rtt_heterogeneity.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tests.dir/net/test_drop_tail.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_drop_tail.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_link_node.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_link_node.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_loss_model.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_loss_model.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_red.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_red.cpp.o.d"
+  "net_tests"
+  "net_tests.pdb"
+  "net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_rng.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_rng.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_rng.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_time.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_time.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_time.cpp.o.d"
+  "/root/repo/tests/sim/test_timer.cpp" "tests/CMakeFiles/sim_tests.dir/sim/test_timer.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/test_timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrtcp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

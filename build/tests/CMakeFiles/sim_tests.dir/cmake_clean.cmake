@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/test_rng.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_rng.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_simulator.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_time.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_time.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_timer.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_timer.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tcp/test_receiver.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_receiver.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_receiver.cpp.o.d"
+  "/root/repo/tests/tcp/test_rto.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_rto.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_rto.cpp.o.d"
+  "/root/repo/tests/tcp/test_sack.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_sack.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_sack.cpp.o.d"
+  "/root/repo/tests/tcp/test_scoreboard.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_scoreboard.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_scoreboard.cpp.o.d"
+  "/root/repo/tests/tcp/test_sender_base.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_sender_base.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_sender_base.cpp.o.d"
+  "/root/repo/tests/tcp/test_seq.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_seq.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_seq.cpp.o.d"
+  "/root/repo/tests/tcp/test_variants.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_variants.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rrtcp_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rrtcp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

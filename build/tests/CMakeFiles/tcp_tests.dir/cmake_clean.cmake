@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_tests.dir/tcp/test_receiver.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_receiver.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/test_rto.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_rto.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/test_sack.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_sack.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/test_scoreboard.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_scoreboard.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/test_sender_base.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_sender_base.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/test_seq.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_seq.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/test_variants.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_variants.cpp.o.d"
+  "tcp_tests"
+  "tcp_tests.pdb"
+  "tcp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
