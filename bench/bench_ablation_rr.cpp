@@ -55,24 +55,33 @@ Out run(bool ordering, bool budget, bool rescue,
   return o;
 }
 
-void run_table(const char* title,
-               const std::function<std::unique_ptr<net::LossModel>()>& loss,
-               double ack_loss = 0.0) {
+struct Knobs {
+  bool ordering, budget, rescue;
+};
+
+// The 8 knob combinations, in the row order the tables have always used.
+std::vector<Knobs> knob_grid() {
+  std::vector<Knobs> grid;
+  for (bool ordering : {true, false})
+    for (bool budget : {true, false})
+      for (bool rescue : {true, false}) grid.push_back({ordering, budget, rescue});
+  return grid;
+}
+
+void print_table(const char* title, const std::vector<Knobs>& grid,
+                 const std::vector<Out>& outs, std::size_t first) {
   std::printf("\n--- %s ---\n", title);
   stats::Table table{{"probe-first", "budget", "rescue", "completion (s)",
                       "rtx", "timeouts", "spurious rtx (receiver dups)"}};
-  for (bool ordering : {true, false}) {
-    for (bool budget : {true, false}) {
-      for (bool rescue : {true, false}) {
-        const Out o = run(ordering, budget, rescue, loss, ack_loss);
-        table.add_row({ordering ? "on" : "off", budget ? "on" : "off",
-                     rescue ? "on" : "off",
-                     stats::Table::cell("%.3f", o.completion_s),
-                     stats::Table::cell("%llu", (unsigned long long)o.rtx),
-                     stats::Table::cell("%llu", (unsigned long long)o.timeouts),
-                     stats::Table::cell("%llu", (unsigned long long)o.spurious)});
-      }
-    }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Knobs& k = grid[i];
+    const Out& o = outs[first + i];
+    table.add_row({k.ordering ? "on" : "off", k.budget ? "on" : "off",
+                   k.rescue ? "on" : "off",
+                   stats::Table::cell("%.3f", o.completion_s),
+                   stats::Table::cell("%llu", (unsigned long long)o.rtx),
+                   stats::Table::cell("%llu", (unsigned long long)o.timeouts),
+                   stats::Table::cell("%llu", (unsigned long long)o.spurious)});
   }
   table.print();
 }
@@ -80,10 +89,9 @@ void run_table(const char* title,
 }  // namespace
 }  // namespace rrtcp::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rrtcp::bench;
-  print_header("RR ablation — boundary-retransmission budget and rescue",
-               "design-choice study (not a paper figure); see DESIGN.md");
+  const auto cli = rrtcp::harness::SweepCli::parse(argc, argv);
 
   // Workload A: a 3-packet burst inside a large (slow-start-overshoot)
   // window. With the naive rtx-first ordering, ndup systematically
@@ -92,18 +100,56 @@ int main() {
   // boundary ACK spuriously retransmits in-flight data. probe-first
   // ordering removes the undercount; the budget bounds the damage when
   // an extension does happen.
-  run_table("3-packet burst in a ~35-packet window (no other loss)", [] {
-    std::vector<std::pair<rrtcp::net::FlowId, std::uint64_t>> burst;
-    for (int i = 0; i < 3; ++i)
-      burst.push_back({1, static_cast<std::uint64_t>(20 + i) * 1000});
-    return std::make_unique<rrtcp::net::ListLossModel>(burst);
-  });
-
+  //
   // Workload B: the first retransmission of the lost segment dies too —
   // without rescue this is an unavoidable coarse timeout.
-  run_table("single loss whose retransmission is also lost", [] {
-    return std::make_unique<rrtcp::net::SegmentLossModel>(1, 30'000, 2);
-  });
+  struct Workload {
+    const char* key;
+    const char* title;
+    std::function<std::unique_ptr<rrtcp::net::LossModel>()> loss;
+  };
+  const Workload workloads[] = {
+      {"burst3", "3-packet burst in a ~35-packet window (no other loss)",
+       [] {
+         std::vector<std::pair<rrtcp::net::FlowId, std::uint64_t>> burst;
+         for (int i = 0; i < 3; ++i)
+           burst.push_back({1, static_cast<std::uint64_t>(20 + i) * 1000});
+         return std::make_unique<rrtcp::net::ListLossModel>(burst);
+       }},
+      {"rtx-loss", "single loss whose retransmission is also lost",
+       [] { return std::make_unique<rrtcp::net::SegmentLossModel>(1, 30'000, 2); }},
+  };
+
+  const auto grid = knob_grid();
+  std::vector<rrtcp::harness::ScenarioSpec> jobs;
+  std::vector<Out> outs(std::size(workloads) * grid.size());
+  for (const Workload& w : workloads) {
+    for (const Knobs& k : grid) {
+      jobs.push_back(
+          {rrtcp::stats::Table::cell("%s/probe=%d/budget=%d/rescue=%d", w.key,
+                                     k.ordering, k.budget, k.rescue),
+           [&outs, &w, k](const rrtcp::harness::JobContext& ctx) {
+             const Out o = run(k.ordering, k.budget, k.rescue, w.loss);
+             outs[ctx.index] = o;
+             return rrtcp::harness::Record{}
+                 .set("workload", w.key)
+                 .set("probe_first", k.ordering)
+                 .set("budget", k.budget)
+                 .set("rescue", k.rescue)
+                 .set("completion_s", o.completion_s)
+                 .set("rtx", o.rtx)
+                 .set("timeouts", o.timeouts)
+                 .set("spurious", o.spurious);
+           }});
+    }
+  }
+  rrtcp::harness::ResultSink sink{jobs.size()};
+  const auto timing = rrtcp::harness::run_sweep(jobs, sink, cli.options);
+
+  print_header("RR ablation — boundary-retransmission budget and rescue",
+               "design-choice study (not a paper figure); see DESIGN.md");
+  for (std::size_t wi = 0; wi < std::size(workloads); ++wi)
+    print_table(workloads[wi].title, grid, outs, wi * grid.size());
 
   std::printf(
       "\nreading: probe-first ordering is load-bearing (3 vs 36-48 rtx);\n"
@@ -111,5 +157,6 @@ int main() {
       "is nearly free otherwise; rescue converts a lost retransmission\n"
       "from a coarse timeout into one extra retransmission (~0.75 s saved\n"
       "on a 100-packet transfer).\n");
+  rrtcp::harness::report("ablation_rr", cli, sink, timing);
   return 0;
 }

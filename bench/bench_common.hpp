@@ -10,6 +10,7 @@
 
 #include "app/flow_factory.hpp"
 #include "app/ftp.hpp"
+#include "harness/sweep.hpp"
 #include "net/drop_tail.hpp"
 #include "net/dumbbell.hpp"
 #include "net/red.hpp"

@@ -27,6 +27,17 @@ struct Row {
   std::uint64_t timeouts;
 };
 
+harness::Record to_record(app::Variant v, int burst, const Row& r) {
+  return harness::Record{}
+      .set("variant", app::to_string(v))
+      .set("burst", burst)
+      .set("recovery_s", r.recovery_s)
+      .set("recovery_kbps", r.recovery_kbps)
+      .set("completion_s", r.completion_s)
+      .set("rtx", r.rtx)
+      .set("timeouts", r.timeouts);
+}
+
 Row run_one(app::Variant v, int burst) {
   sim::Simulator sim;
   net::DumbbellConfig netcfg;  // Table 3 values are the defaults
@@ -93,13 +104,12 @@ Row run_one(app::Variant v, int burst) {
   return r;
 }
 
-void run_table(int burst) {
+void print_table(int burst, const std::vector<Row>& rows) {
   std::printf("\n--- %d packet losses within a window of data ---\n", burst);
   stats::Table table{{"variant", "recovery period (s)",
                       "eff. throughput in recovery (kbit/s)",
                       "total transfer (s)", "rtx", "timeouts"}};
-  for (app::Variant v : app::kAllVariants) {
-    const Row r = run_one(v, burst);
+  for (const Row& r : rows) {
     table.add_row({r.name, stats::Table::cell("%.3f", r.recovery_s),
                    stats::Table::cell("%.1f", r.recovery_kbps),
                    stats::Table::cell("%.3f", r.completion_s),
@@ -112,15 +122,41 @@ void run_table(int burst) {
 }  // namespace
 }  // namespace rrtcp::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rrtcp::bench;
+  namespace app = rrtcp::app;
+  const auto cli = rrtcp::harness::SweepCli::parse(argc, argv);
+
+  // The grid: burst size x variant. Scenarios are fully deterministic
+  // (injected loss lists, no RNG), so the per-job seed is unused.
+  const int bursts[] = {3, 6};
+  std::vector<rrtcp::harness::ScenarioSpec> jobs;
+  std::vector<std::pair<int, app::Variant>> grid;
+  std::vector<Row> rows;
+  for (int burst : bursts)
+    for (app::Variant v : app::kAllVariants) grid.emplace_back(burst, v);
+  rows.resize(grid.size());
+  for (const auto& [burst, v] : grid) {
+    jobs.push_back({std::string{"burst="} + std::to_string(burst) +
+                        "/variant=" + app::to_string(v),
+                    [&rows, burst = burst,
+                     v = v](const rrtcp::harness::JobContext& ctx) {
+                      rows[ctx.index] = run_one(v, burst);
+                      return to_record(v, burst, rows[ctx.index]);
+                    }});
+  }
+  rrtcp::harness::ResultSink sink{jobs.size()};
+  const auto timing = rrtcp::harness::run_sweep(jobs, sink, cli.options);
+
   print_header("Figure 5 — recovery throughput under drop-tail gateways",
                "Wang & Shin 2001, Fig. 5 (left: 3 drops, right: 6 drops)");
-  run_table(3);
-  run_table(6);
+  const std::size_t per_table = std::size(app::kAllVariants);
+  print_table(3, {rows.begin(), rows.begin() + per_table});
+  print_table(6, {rows.begin() + per_table, rows.end()});
   std::printf(
       "\nshape check: RR/SACK sustain recovery throughput and avoid\n"
       "timeouts at both burst sizes; Reno halves repeatedly or times out;\n"
       "Tahoe survives via go-back-N at the cost of extra retransmissions.\n");
+  rrtcp::harness::report("fig5_droptail", cli, sink, timing);
   return 0;
 }

@@ -24,15 +24,15 @@ struct RunOut {
   std::uint64_t red_early, red_forced;
 };
 
-RunOut run_variant(app::Variant v) {
+RunOut run_variant(app::Variant v, std::uint64_t seed) {
   sim::Simulator sim;
   net::DumbbellConfig netcfg;
   netcfg.n_flows = 10;
   net::RedQueue* red = nullptr;
-  netcfg.make_bottleneck_queue = [&sim, &red] {
+  netcfg.make_bottleneck_queue = [&sim, &red, seed] {
     net::RedConfig rc;  // Table 4 values are the defaults
     rc.mean_pkt_tx = sim::Time::transmission(1000, 800'000);
-    rc.seed = 42;
+    rc.seed = seed;  // per-job, derived from the sweep's base seed
     auto q = std::make_unique<net::RedQueue>(sim, rc);
     red = q.get();
     return q;
@@ -72,16 +72,54 @@ RunOut run_variant(app::Variant v) {
 }  // namespace
 }  // namespace rrtcp::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rrtcp::bench;
   using rrtcp::app::Variant;
-  print_header("Figure 6 — sequence-number dynamics under RED gateways",
-               "Wang & Shin 2001, Fig. 6(a) New-Reno, (b) SACK, (c) RR");
+  const auto cli = rrtcp::harness::SweepCli::parse(argc, argv);
 
   const Variant panel[] = {Variant::kNewReno, Variant::kSack, Variant::kRr,
                            Variant::kTahoe};
-  std::vector<RunOut> outs;
-  for (Variant v : panel) outs.push_back(run_variant(v));
+  // A single 6 s RED run is seed-sensitive (flow-1 throughput swings ~20%
+  // with the gateway's drop draws), so each job averages kNumSubSeeds runs
+  // over sub-seeds derived from its sweep seed; the sequence plot shows
+  // the first sub-seed's trace, as the paper plots one run.
+  constexpr int kNumSubSeeds = 8;
+  std::vector<RunOut> outs(std::size(panel));
+  std::vector<rrtcp::harness::ScenarioSpec> jobs;
+  for (Variant v : panel) {
+    jobs.push_back(
+        {std::string{"variant="} + rrtcp::app::to_string(v),
+         [&outs, v](const rrtcp::harness::JobContext& ctx) {
+           RunOut mean{};
+           for (int k = 0; k < kNumSubSeeds; ++k) {
+             const RunOut o =
+                 run_variant(v, rrtcp::harness::derive_seed(ctx.seed, k));
+             if (k == 0) mean.series = o.series;
+             mean.kbps += o.kbps / kNumSubSeeds;
+             mean.timeouts += o.timeouts;
+             mean.rtx += o.rtx;
+             mean.red_early += o.red_early;
+             mean.red_forced += o.red_forced;
+           }
+           mean.timeouts /= kNumSubSeeds;
+           mean.rtx /= kNumSubSeeds;
+           mean.red_early /= kNumSubSeeds;
+           mean.red_forced /= kNumSubSeeds;
+           outs[ctx.index] = mean;
+           return rrtcp::harness::Record{}
+               .set("variant", rrtcp::app::to_string(v))
+               .set("kbps", mean.kbps)
+               .set("timeouts", mean.timeouts)
+               .set("rtx", mean.rtx)
+               .set("red_early_drops", mean.red_early)
+               .set("red_forced_drops", mean.red_forced);
+         }});
+  }
+  rrtcp::harness::ResultSink sink{jobs.size()};
+  const auto timing = rrtcp::harness::run_sweep(jobs, sink, cli.options);
+
+  print_header("Figure 6 — sequence-number dynamics under RED gateways",
+               "Wang & Shin 2001, Fig. 6(a) New-Reno, (b) SACK, (c) RR");
 
   // Sequence plots, gnuplot-ready: one x column, one y column per variant.
   std::vector<std::vector<double>> cols;
@@ -111,11 +149,15 @@ int main() {
   }
   table.print();
   std::printf(
-      "\nshape check: RR's flow-1 effective throughput exceeds New-Reno's\n"
-      "and Tahoe's without any timeout. Note: our SACK baseline implements\n"
-      "the RFC 3517 pipe algorithm (multiple hole repairs per RTT), which\n"
-      "is stronger than the 2001-era sack1 the paper compared against —\n"
-      "it tops this chart; the paper's RR >= SACK held against sack1.\n"
-      "See EXPERIMENTS.md.\n");
+      "\nshape check (means over %d seeds): RR advances without any timeout\n"
+      "and with the fewest retransmissions, beats Tahoe, and matches\n"
+      "New-Reno's mean throughput within the seed noise; its sequence plot\n"
+      "climbs steadily where New-Reno's flattens during recovery. Note: our\n"
+      "SACK baseline implements the RFC 3517 pipe algorithm (multiple hole\n"
+      "repairs per RTT), stronger than the 2001-era sack1 the paper\n"
+      "compared against — it tops this chart; the paper's RR >= SACK held\n"
+      "against sack1. See EXPERIMENTS.md.\n",
+      kNumSubSeeds);
+  rrtcp::harness::report("fig6_red", cli, sink, timing);
   return 0;
 }

@@ -15,66 +15,85 @@ constexpr app::Variant kSet[] = {app::Variant::kNewReno,
                                  app::Variant::kLinKung, app::Variant::kSack,
                                  app::Variant::kRr};
 
-void burst_table(int burst) {
+struct Out {
+  double completion_s;
+  std::uint64_t rtx;       // burst tables
+  std::uint64_t timeouts;  // burst tables
+  std::uint64_t spurious;  // reordering table (receiver dups)
+  std::uint64_t fast_rtx;  // reordering table
+};
+
+Out run_burst(app::Variant v, int burst) {
+  sim::Simulator sim;
+  net::DumbbellConfig netcfg;
+  netcfg.n_flows = 1;
+  netcfg.make_bottleneck_queue = [] {
+    return std::make_unique<net::DropTailQueue>(100);
+  };
+  net::DumbbellTopology topo{sim, netcfg};
+  std::vector<std::pair<net::FlowId, std::uint64_t>> losses;
+  for (int i = 0; i < burst; ++i)
+    losses.push_back({1, static_cast<std::uint64_t>(30 + i) * 1000});
+  topo.bottleneck().set_loss_model(
+      std::make_unique<net::ListLossModel>(losses));
+  tcp::TcpConfig tcfg;
+  tcfg.init_ssthresh_pkts = 10;
+  auto f = make_instrumented_flow(v, sim, topo, 0, sim::Time::zero(),
+                                  100'000, tcfg);
+  sim.run_until(sim::Time::seconds(60));
+  Out o{};
+  o.completion_s = f.flow.sender->completion_time().to_seconds();
+  o.rtx = f.flow.sender->stats().retransmissions;
+  o.timeouts = f.flow.sender->stats().timeouts;
+  return o;
+}
+
+Out run_reordering(app::Variant v) {
+  sim::Simulator sim;
+  net::DumbbellConfig netcfg;
+  netcfg.n_flows = 1;
+  netcfg.make_bottleneck_queue = [] {
+    return std::make_unique<net::DropTailQueue>(100);
+  };
+  net::DumbbellTopology topo{sim, netcfg};
+  topo.bottleneck().set_reorder_model(std::make_unique<net::ReorderModel>(
+      0.05, sim::Time::milliseconds(300), 11));
+  tcp::TcpConfig tcfg;
+  tcfg.init_ssthresh_pkts = 10;
+  auto f = make_instrumented_flow(v, sim, topo, 0, sim::Time::zero(),
+                                  200'000, tcfg);
+  sim.run_until(sim::Time::seconds(120));
+  Out o{};
+  o.completion_s = f.flow.sender->completion_time().to_seconds();
+  o.spurious = f.flow.receiver->stats().duplicates;
+  o.fast_rtx = f.flow.sender->stats().fast_retransmits;
+  return o;
+}
+
+void print_burst_table(int burst, const std::vector<Out>& outs,
+                       std::size_t first) {
   std::printf("\n--- %d-packet burst in one window ---\n", burst);
   stats::Table table{{"scheme", "completion (s)", "rtx", "timeouts"}};
-  for (app::Variant v : kSet) {
-    sim::Simulator sim;
-    net::DumbbellConfig netcfg;
-    netcfg.n_flows = 1;
-    netcfg.make_bottleneck_queue = [] {
-      return std::make_unique<net::DropTailQueue>(100);
-    };
-    net::DumbbellTopology topo{sim, netcfg};
-    std::vector<std::pair<net::FlowId, std::uint64_t>> losses;
-    for (int i = 0; i < burst; ++i)
-      losses.push_back({1, static_cast<std::uint64_t>(30 + i) * 1000});
-    topo.bottleneck().set_loss_model(
-        std::make_unique<net::ListLossModel>(losses));
-    tcp::TcpConfig tcfg;
-    tcfg.init_ssthresh_pkts = 10;
-    auto f = make_instrumented_flow(v, sim, topo, 0, sim::Time::zero(),
-                                    100'000, tcfg);
-    sim.run_until(sim::Time::seconds(60));
+  for (std::size_t i = 0; i < std::size(kSet); ++i) {
+    const Out& o = outs[first + i];
     table.add_row(
-        {app::to_string(v),
-         stats::Table::cell("%.3f",
-                            f.flow.sender->completion_time().to_seconds()),
-         stats::Table::cell("%llu", (unsigned long long)
-                                        f.flow.sender->stats().retransmissions),
-         stats::Table::cell("%llu",
-                            (unsigned long long)f.flow.sender->stats().timeouts)});
+        {app::to_string(kSet[i]), stats::Table::cell("%.3f", o.completion_s),
+         stats::Table::cell("%llu", (unsigned long long)o.rtx),
+         stats::Table::cell("%llu", (unsigned long long)o.timeouts)});
   }
   table.print();
 }
 
-void reordering_table() {
+void print_reordering_table(const std::vector<Out>& outs, std::size_t first) {
   std::printf("\n--- no loss, 5%% of data packets delayed by 1.5 RTT ---\n");
   stats::Table table{{"scheme", "completion (s)", "spurious rtx",
                       "fast rtx episodes"}};
-  for (app::Variant v : kSet) {
-    sim::Simulator sim;
-    net::DumbbellConfig netcfg;
-    netcfg.n_flows = 1;
-    netcfg.make_bottleneck_queue = [] {
-      return std::make_unique<net::DropTailQueue>(100);
-    };
-    net::DumbbellTopology topo{sim, netcfg};
-    topo.bottleneck().set_reorder_model(std::make_unique<net::ReorderModel>(
-        0.05, sim::Time::milliseconds(300), 11));
-    tcp::TcpConfig tcfg;
-    tcfg.init_ssthresh_pkts = 10;
-    auto f = make_instrumented_flow(v, sim, topo, 0, sim::Time::zero(),
-                                    200'000, tcfg);
-    sim.run_until(sim::Time::seconds(120));
+  for (std::size_t i = 0; i < std::size(kSet); ++i) {
+    const Out& o = outs[first + i];
     table.add_row(
-        {app::to_string(v),
-         stats::Table::cell("%.3f",
-                            f.flow.sender->completion_time().to_seconds()),
-         stats::Table::cell("%llu", (unsigned long long)
-                                        f.flow.receiver->stats().duplicates),
-         stats::Table::cell("%llu", (unsigned long long)f.flow.sender->stats()
-                                        .fast_retransmits)});
+        {app::to_string(kSet[i]), stats::Table::cell("%.3f", o.completion_s),
+         stats::Table::cell("%llu", (unsigned long long)o.spurious),
+         stats::Table::cell("%llu", (unsigned long long)o.fast_rtx)});
   }
   table.print();
 }
@@ -82,13 +101,54 @@ void reordering_table() {
 }  // namespace
 }  // namespace rrtcp::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rrtcp::bench;
+  namespace app = rrtcp::app;
+  const auto cli = rrtcp::harness::SweepCli::parse(argc, argv);
+
+  // Grid: burst=3 x schemes, burst=6 x schemes, reordering x schemes.
+  // All three scenarios are deterministic given their fixed model seeds,
+  // so the per-job sweep seed is unused.
+  std::vector<rrtcp::harness::ScenarioSpec> jobs;
+  std::vector<Out> outs(3 * std::size(kSet));
+  for (int burst : {3, 6}) {
+    for (app::Variant v : kSet) {
+      jobs.push_back({std::string{"burst="} + std::to_string(burst) +
+                          "/scheme=" + app::to_string(v),
+                      [v, burst, &outs](const rrtcp::harness::JobContext& ctx) {
+                        const Out o = run_burst(v, burst);
+                        outs[ctx.index] = o;
+                        return rrtcp::harness::Record{}
+                            .set("scenario", "burst")
+                            .set("burst", burst)
+                            .set("scheme", app::to_string(v))
+                            .set("completion_s", o.completion_s)
+                            .set("rtx", o.rtx)
+                            .set("timeouts", o.timeouts);
+                      }});
+    }
+  }
+  for (app::Variant v : kSet) {
+    jobs.push_back({std::string{"reorder/scheme="} + app::to_string(v),
+                    [v, &outs](const rrtcp::harness::JobContext& ctx) {
+                      const Out o = run_reordering(v);
+                      outs[ctx.index] = o;
+                      return rrtcp::harness::Record{}
+                          .set("scenario", "reorder")
+                          .set("scheme", app::to_string(v))
+                          .set("completion_s", o.completion_s)
+                          .set("spurious", o.spurious)
+                          .set("fast_rtx", o.fast_rtx);
+                    }});
+  }
+  rrtcp::harness::ResultSink sink{jobs.size()};
+  const auto timing = rrtcp::harness::run_sweep(jobs, sink, cli.options);
+
   print_header("Related-work comparison — RR vs right-edge and Lin-Kung",
                "extends paper Section 1 (Balakrishnan et al.; Lin & Kung)");
-  burst_table(3);
-  burst_table(6);
-  reordering_table();
+  print_burst_table(3, outs, 0);
+  print_burst_table(6, outs, std::size(kSet));
+  print_reordering_table(outs, 2 * std::size(kSet));
   std::printf(
       "\nreading: on bursts, right-edge/Lin-Kung track New-Reno (their\n"
       "one-hole-per-RTT ceiling) while SACK repairs several holes per\n"
@@ -97,5 +157,6 @@ int main() {
       "back-offs) but pays the most duplicate retransmissions — its\n"
       "partial-ACK boundaries misread late packets as holes, a real\n"
       "sensitivity of the algorithm worth knowing about.\n");
+  rrtcp::harness::report("related_work", cli, sink, timing);
   return 0;
 }

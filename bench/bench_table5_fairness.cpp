@@ -69,14 +69,14 @@ CaseResult run_case_once(app::Variant target, app::Variant background,
 // swings by 3x with a 200 ms shift of the target's start. The paper
 // reports one run; we average over six staggered starts around the
 // paper's 4.8 s so the table reflects the systematic effect, not the
-// draw (EXPERIMENTS.md discusses the spread).
-CaseResult run_case(app::Variant target, app::Variant background) {
-  const double starts[] = {4.4, 4.6, 4.8, 5.0, 5.2, 5.6};
+// draw (EXPERIMENTS.md discusses the spread). Each (case, start) pair is
+// one sweep job; the averaging happens after the sweep completes.
+constexpr double kStarts[] = {4.4, 4.6, 4.8, 5.0, 5.2, 5.6};
+
+CaseResult mean_of(const std::vector<CaseResult>& runs) {
   CaseResult mean{0.0, 0.0, true};
   int n = 0;
-  for (double s : starts) {
-    const CaseResult r =
-        run_case_once(target, background, sim::Time::seconds(s));
+  for (const CaseResult& r : runs) {
     if (!r.complete) continue;
     mean.delay_s += r.delay_s;
     mean.loss_rate += r.loss_rate;
@@ -91,11 +91,11 @@ CaseResult run_case(app::Variant target, app::Variant background) {
 }  // namespace
 }  // namespace rrtcp::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rrtcp::bench;
   using rrtcp::app::Variant;
-  print_header("Table 5 — fairness of RR competing with TCP Reno",
-               "Wang & Shin 2001, Table 5 (targeted 100 KB transfer)");
+  namespace sim = rrtcp::sim;
+  const auto cli = rrtcp::harness::SweepCli::parse(argc, argv);
 
   struct Case {
     int id;
@@ -109,10 +109,39 @@ int main() {
       {4, Variant::kRr, Variant::kReno},
   };
 
+  const std::size_t n_starts = std::size(kStarts);
+  std::vector<rrtcp::harness::ScenarioSpec> jobs;
+  std::vector<CaseResult> runs(std::size(cases) * n_starts);
+  for (const Case& c : cases) {
+    for (double start : kStarts) {
+      jobs.push_back(
+          {rrtcp::stats::Table::cell("case=%d/start=%.1f", c.id, start),
+           [&runs, c, start](const rrtcp::harness::JobContext& ctx) {
+             const CaseResult r = run_case_once(c.target, c.background,
+                                                sim::Time::seconds(start));
+             runs[ctx.index] = r;
+             return rrtcp::harness::Record{}
+                 .set("case", c.id)
+                 .set("target", rrtcp::app::to_string(c.target))
+                 .set("background", rrtcp::app::to_string(c.background))
+                 .set("start_s", start)
+                 .set("complete", r.complete)
+                 .set("delay_s", r.delay_s)
+                 .set("loss_rate", r.loss_rate);
+           }});
+    }
+  }
+  rrtcp::harness::ResultSink sink{jobs.size()};
+  const auto timing = rrtcp::harness::run_sweep(jobs, sink, cli.options);
+
+  print_header("Table 5 — fairness of RR competing with TCP Reno",
+               "Wang & Shin 2001, Table 5 (targeted 100 KB transfer)");
   rrtcp::stats::Table table{{"case", "target TCP", "background TCPs",
                              "transfer delay (s)", "packet loss rate"}};
-  for (const Case& c : cases) {
-    const CaseResult r = run_case(c.target, c.background);
+  for (std::size_t ci = 0; ci < std::size(cases); ++ci) {
+    const Case& c = cases[ci];
+    const CaseResult r = mean_of({runs.begin() + ci * n_starts,
+                                  runs.begin() + (ci + 1) * n_starts});
     table.add_row(
         {rrtcp::stats::Table::cell("%d", c.id),
          rrtcp::app::to_string(c.target),
@@ -129,5 +158,6 @@ int main() {
       "bandwidth Reno leaves idle. Values are means over six staggered\n"
       "target starts; single runs of this chaotic 20-flow system swing by\n"
       "3x (see EXPERIMENTS.md).\n");
+  rrtcp::harness::report("table5_fairness", cli, sink, timing);
   return 0;
 }

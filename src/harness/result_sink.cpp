@@ -1,0 +1,201 @@
+#include "harness/result_sink.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::harness {
+
+namespace {
+
+// CSV: quote a cell only when it needs it (comma, quote, newline), with
+// embedded quotes doubled per RFC 4180.
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// JSON string body escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// A numeric field whose text is nan/inf is not valid JSON; quote it.
+bool json_safe_number(const std::string& text) {
+  return text.find_first_not_of("0123456789+-.eE") == std::string::npos &&
+         !text.empty();
+}
+
+}  // namespace
+
+Record& Record::set(std::string key, std::string value) {
+  fields_.push_back({std::move(key), std::move(value), /*numeric=*/false});
+  return *this;
+}
+
+Record& Record::set(std::string key, const char* value) {
+  return set(std::move(key), std::string{value});
+}
+
+Record& Record::set(std::string key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  fields_.push_back({std::move(key), buf, /*numeric=*/true});
+  return *this;
+}
+
+Record& Record::set(std::string key, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", (unsigned long long)value);
+  fields_.push_back({std::move(key), buf, /*numeric=*/true});
+  return *this;
+}
+
+Record& Record::set(std::string key, int value) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%d", value);
+  fields_.push_back({std::move(key), buf, /*numeric=*/true});
+  return *this;
+}
+
+Record& Record::set(std::string key, bool value) {
+  fields_.push_back({std::move(key), value ? "1" : "0", /*numeric=*/true});
+  return *this;
+}
+
+Record& Record::merge(const Record& other) {
+  fields_.insert(fields_.end(), other.fields_.begin(), other.fields_.end());
+  return *this;
+}
+
+std::string_view Record::get(std::string_view key) const {
+  for (const Field& f : fields_)
+    if (f.key == key) return f.text;
+  return {};
+}
+
+ResultSink::ResultSink(std::size_t n_jobs)
+    : records_(n_jobs), wall_(n_jobs, 0.0), done_(n_jobs, false) {}
+
+void ResultSink::submit(std::size_t index, Record record,
+                        double wall_seconds) {
+  std::lock_guard<std::mutex> lock{mu_};
+  RRTCP_ASSERT_MSG(index < records_.size(), "job index out of range");
+  RRTCP_ASSERT_MSG(!done_[index], "job result submitted twice");
+  records_[index] = std::move(record);
+  wall_[index] = wall_seconds;
+  done_[index] = true;
+}
+
+bool ResultSink::complete() const {
+  for (bool d : done_)
+    if (!d) return false;
+  return true;
+}
+
+double ResultSink::total_job_seconds() const {
+  double total = 0.0;
+  for (double w : wall_) total += w;
+  return total;
+}
+
+std::vector<std::string> ResultSink::column_order() const {
+  std::vector<std::string> cols;
+  for (const Record& r : records_) {
+    for (const Record::Field& f : r.fields()) {
+      bool seen = false;
+      for (const std::string& c : cols)
+        if (c == f.key) {
+          seen = true;
+          break;
+        }
+      if (!seen) cols.push_back(f.key);
+    }
+  }
+  return cols;
+}
+
+std::string ResultSink::to_csv() const {
+  const std::vector<std::string> cols = column_order();
+  std::string out;
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    if (c) out += ',';
+    out += csv_escape(cols[c]);
+  }
+  out += '\n';
+  for (const Record& r : records_) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      if (c) out += ',';
+      out += csv_escape(std::string{r.get(cols[c])});
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ResultSink::to_json(std::string_view sweep_name,
+                                std::uint64_t base_seed) const {
+  char buf[64];
+  std::string out = "{\n  \"sweep\": \"";
+  out += json_escape(sweep_name);
+  std::snprintf(buf, sizeof buf, "\",\n  \"base_seed\": %llu,\n",
+                (unsigned long long)base_seed);
+  out += buf;
+  out += "  \"jobs\": [\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out += "    {";
+    const auto& fields = records_[i].fields();
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      if (f) out += ", ";
+      out += '"';
+      out += json_escape(fields[f].key);
+      out += "\": ";
+      if (fields[f].numeric && json_safe_number(fields[f].text)) {
+        out += fields[f].text;
+      } else {
+        out += '"';
+        out += json_escape(fields[f].text);
+        out += '"';
+      }
+    }
+    out += i + 1 < records_.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void write_file(const std::string& path, std::string_view contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  RRTCP_ASSERT_MSG(f != nullptr, "cannot open sweep output file");
+  const std::size_t n = std::fwrite(contents.data(), 1, contents.size(), f);
+  RRTCP_ASSERT_MSG(n == contents.size(), "short write to sweep output file");
+  RRTCP_ASSERT_MSG(std::fclose(f) == 0, "close failed on sweep output file");
+}
+
+}  // namespace rrtcp::harness

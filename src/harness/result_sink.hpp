@@ -1,0 +1,84 @@
+// Ordered result records for the sweep harness and their machine-readable
+// emission (CSV / JSON).
+//
+// A Record is a flat, ordered list of (key, value) fields whose values
+// remember whether they were numeric: CSV emits the formatted text, JSON
+// emits numeric fields unquoted. A ResultSink collects one Record per job
+// under a mutex but stores them by JOB index, not completion order, so the
+// emitted files are byte-identical regardless of how many worker threads
+// produced the records or how their completions interleaved. Per-job
+// wall-clock times are collected alongside for the timing report, but are
+// deliberately excluded from both file formats — they are the one
+// nondeterministic quantity in a sweep.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rrtcp::harness {
+
+class Record {
+ public:
+  struct Field {
+    std::string key;
+    std::string text;
+    bool numeric;
+  };
+
+  Record& set(std::string key, std::string value);
+  Record& set(std::string key, const char* value);
+  Record& set(std::string key, double value);  // formatted with "%.10g"
+  Record& set(std::string key, std::uint64_t value);
+  Record& set(std::string key, int value);
+  Record& set(std::string key, bool value);  // numeric 1 / 0
+
+  // Appends all of `other`'s fields after this record's.
+  Record& merge(const Record& other);
+
+  const std::vector<Field>& fields() const { return fields_; }
+  // Text of the first field named `key`; empty string if absent.
+  std::string_view get(std::string_view key) const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+class ResultSink {
+ public:
+  explicit ResultSink(std::size_t n_jobs);
+
+  // Thread-safe. Stores job `index`'s record and its wall-clock cost;
+  // submitting the same index twice or an index out of range aborts.
+  void submit(std::size_t index, Record record, double wall_seconds);
+
+  std::size_t size() const { return records_.size(); }
+  bool complete() const;  // every job submitted
+  const Record& record(std::size_t i) const { return records_[i]; }
+  double wall_seconds(std::size_t i) const { return wall_[i]; }
+  // Sum of per-job wall clocks — the "serial equivalent" cost.
+  double total_job_seconds() const;
+
+  // Machine-readable emission, jobs in index order. The column set is the
+  // union of the records' keys in first-appearance order; records missing
+  // a column emit an empty cell (CSV) / omit the member (JSON).
+  std::string to_csv() const;
+  std::string to_json(std::string_view sweep_name,
+                      std::uint64_t base_seed) const;
+
+ private:
+  std::vector<std::string> column_order() const;
+
+  std::mutex mu_;
+  std::vector<Record> records_;
+  std::vector<double> wall_;
+  std::vector<bool> done_;
+};
+
+// Writes `contents` to `path` (truncating); aborts on I/O failure so a
+// sweep cannot silently lose its results.
+void write_file(const std::string& path, std::string_view contents);
+
+}  // namespace rrtcp::harness

@@ -1,0 +1,155 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string_view>
+#include <thread>
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::harness {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void run_one_job(const ScenarioSpec& job, std::size_t index,
+                 std::uint64_t base_seed, ResultSink& sink) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const JobContext ctx{index, derive_seed(base_seed, index)};
+  Record row;
+  row.set("id", job.id);
+  try {
+    RRTCP_ASSERT_MSG(static_cast<bool>(job.run), "scenario callback empty");
+    row.merge(job.run(ctx));
+  } catch (const std::exception& e) {
+    row.set("error", e.what());
+  }
+  sink.submit(index, std::move(row), seconds_since(t0));
+}
+
+[[noreturn]] void usage_error(const char* arg) {
+  std::fprintf(stderr,
+               "unknown argument: %s\n"
+               "usage: <bench> [--threads=N] [--seed=S] [--csv=PATH] "
+               "[--json=PATH]\n",
+               arg);
+  std::exit(2);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t index) {
+  // SplitMix64 finalizer over a golden-ratio-spaced combination of base
+  // seed and index; stateless, so job i's seed never depends on which
+  // thread ran jobs 0..i-1.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("RRTCP_SWEEP_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SweepTiming run_sweep(const std::vector<ScenarioSpec>& jobs, ResultSink& sink,
+                      const SweepOptions& opts) {
+  RRTCP_ASSERT_MSG(sink.size() == jobs.size(),
+                   "sink size must match job count");
+  SweepTiming timing;
+  timing.threads = resolve_threads(opts.threads);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  if (timing.threads == 1 || jobs.size() <= 1) {
+    // Serial fallback: no pool, jobs run inline on the calling thread.
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      run_one_job(jobs[i], i, opts.base_seed, sink);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs.size()) return;
+        run_one_job(jobs[i], i, opts.base_seed, sink);
+      }
+    };
+    const std::size_t n_workers =
+        std::min<std::size_t>(timing.threads, jobs.size());
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers - 1);
+    for (std::size_t t = 0; t + 1 < n_workers; ++t)
+      pool.emplace_back(worker);
+    worker();  // the calling thread is worker n_workers-1
+    for (std::thread& t : pool) t.join();
+  }
+
+  timing.wall_seconds = seconds_since(t0);
+  timing.job_seconds = sink.total_job_seconds();
+  RRTCP_ASSERT_MSG(sink.complete(), "sweep finished with missing results");
+  return timing;
+}
+
+SweepCli SweepCli::parse(int argc, char** argv) {
+  SweepCli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::string_view{prefix}.size();
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    // Numeric values must parse in full: "--threads=abc" or "--seed="
+    // silently meaning "default" would hide typos in scripted runs.
+    char* end = nullptr;
+    if (const char* v = value_of("--threads=")) {
+      cli.options.threads = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0') usage_error(argv[i]);
+    } else if (const char* v = value_of("--seed=")) {
+      cli.options.base_seed = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') usage_error(argv[i]);
+    } else if (const char* v = value_of("--csv=")) {
+      cli.csv_path = v;
+    } else if (const char* v = value_of("--json=")) {
+      cli.json_path = v;
+    } else {
+      usage_error(argv[i]);
+    }
+  }
+  return cli;
+}
+
+void report(const char* sweep_name, const SweepCli& cli,
+            const ResultSink& sink, const SweepTiming& timing) {
+  std::printf("\nsweep timing (%s): %zu jobs on %d thread%s\n", sweep_name,
+              sink.size(), timing.threads, timing.threads == 1 ? "" : "s");
+  for (std::size_t i = 0; i < sink.size(); ++i) {
+    const std::string id{sink.record(i).get("id")};
+    std::printf("  %-44s %8.3f s\n", id.c_str(), sink.wall_seconds(i));
+  }
+  std::printf("  total job time %.3f s, sweep wall %.3f s, speedup %.2fx\n",
+              timing.job_seconds, timing.wall_seconds, timing.speedup());
+  if (!cli.csv_path.empty()) {
+    write_file(cli.csv_path, sink.to_csv());
+    std::printf("  wrote %s\n", cli.csv_path.c_str());
+  }
+  if (!cli.json_path.empty()) {
+    write_file(cli.json_path,
+               sink.to_json(sweep_name, cli.options.base_seed));
+    std::printf("  wrote %s\n", cli.json_path.c_str());
+  }
+}
+
+}  // namespace rrtcp::harness

@@ -57,12 +57,20 @@ bool RedQueue::enqueue(Packet p) {
   bool early = false;
 
   if (q_.size() >= cfg_.buffer_packets) {
-    drop = true;  // physical buffer exhausted
+    drop = true;   // physical buffer exhausted — the only forced drop
+    count_ = 0;    // a drop occurred: restart the inter-drop spacing
   } else if (avg_ >= cfg_.min_th) {
     const double pa = drop_probability();
     if (pa >= 1.0 || rng_.bernoulli(pa)) {
-      early = avg_ < cfg_.max_th || cfg_.gentle;
-      if (cfg_.ecn && early && p.tcp.ect) {
+      // Any drop decided by RED is an "early" drop in the statistics,
+      // including the deterministic ones where pa saturates at 1
+      // (avg_ >= max_th non-gentle, avg_ >= 2*max_th gentle); forced
+      // drops are buffer overflows only.
+      early = true;
+      // ECN marking stays restricted to the probabilistic region: at
+      // avg_ >= max_th RED is meant to drop, not mark (RFC 3168 §7).
+      const bool markable = avg_ < cfg_.max_th || cfg_.gentle;
+      if (cfg_.ecn && markable && p.tcp.ect) {
         // Mark instead of dropping: the congestion signal still reaches
         // the sender, the packet still reaches the receiver.
         p.tcp.ce = true;

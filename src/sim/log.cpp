@@ -1,16 +1,21 @@
 #include "sim/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace rrtcp::sim {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+// Atomic: the sweep harness runs simulations on worker threads, and the
+// level check sits on their hot paths.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
 }
 
-void Log::set_level(LogLevel level) { g_level = level; }
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel Log::level() { return g_level; }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 
 void Log::write(LogLevel level, Time now, const char* component,
                 const char* fmt, ...) {

@@ -50,7 +50,10 @@ std::uint64_t Simulator::run_until(Time deadline) {
     if (heap_.top().at > deadline) break;
     if (step()) ++n;
   }
-  if (now_ < deadline) now_ = deadline;
+  // Only a run that exhausted the work up to `deadline` advances the clock
+  // there; a stopped run leaves now_ at the stopping event's time so the
+  // caller can observe when the stop happened and resume from it.
+  if (!stopped_ && now_ < deadline) now_ = deadline;
   return n;
 }
 

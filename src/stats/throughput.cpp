@@ -16,6 +16,8 @@ std::uint64_t ThroughputMeter::bytes_acked_at(sim::Time t) const {
 }
 
 sim::Time ThroughputMeter::time_to_ack(std::uint64_t bytes) const {
+  // Zero bytes are trivially acknowledged before the first sample.
+  if (bytes == 0) return sim::Time::zero();
   // samples_ is time-ordered with monotone acked values.
   auto it = std::lower_bound(
       samples_.begin(), samples_.end(), bytes,

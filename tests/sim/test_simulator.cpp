@@ -111,6 +111,19 @@ TEST(Simulator, StopHaltsRun) {
   EXPECT_EQ(count, 100);
 }
 
+TEST(Simulator, RunUntilStoppedLeavesClockAtStoppingEvent) {
+  Simulator sim;
+  sim.schedule_at(Time::seconds(3), [&] { sim.stop(); });
+  sim.schedule_at(Time::seconds(7), [] {});
+  sim.run_until(Time::seconds(10));
+  // A stopped run must NOT jump ahead to the deadline: the stop happened
+  // at t=3 and the caller may want to resume from exactly there.
+  EXPECT_EQ(sim.now(), Time::seconds(3));
+  // Resuming picks up the remaining event and then advances to deadline.
+  sim.run_until(Time::seconds(10));
+  EXPECT_EQ(sim.now(), Time::seconds(10));
+}
+
 TEST(Simulator, EventsScheduledDuringRunExecute) {
   Simulator sim;
   int depth = 0;

@@ -96,6 +96,15 @@ TEST(ThroughputMeter, TimeToAck) {
   EXPECT_TRUE(m.time_to_ack(10'000).is_infinite());
 }
 
+TEST(ThroughputMeter, TimeToAckZeroBytesIsTimeZero) {
+  // Zero bytes are trivially acknowledged from the start — NOT at the
+  // first sample's timestamp, and not at infinity on an empty meter.
+  ThroughputMeter m;
+  EXPECT_EQ(m.time_to_ack(0), Time::zero());
+  m.on_ack(Time::seconds(3), 1000, false);
+  EXPECT_EQ(m.time_to_ack(0), Time::zero());
+}
+
 TEST(Table, PrintsAlignedCells) {
   Table t{{"name", "value"}};
   t.add_row({"alpha", "1"});
