@@ -45,6 +45,9 @@ Out run(bool ordering, bool budget, bool rescue,
   tcfg.rr_rescue_rtx = rescue;
   auto f = make_instrumented_flow(app::Variant::kRr, sim, topo, 0,
                                   sim::Time::zero(), 100'000, tcfg);
+  audit::ScopedAudit audit{sim};
+  audit.attach_topology(topo);
+  audit_flow(audit, f);
   sim.run_until(sim::Time::seconds(120));
 
   Out o{};
@@ -79,9 +82,9 @@ void print_table(const char* title, const std::vector<Knobs>& grid,
     table.add_row({k.ordering ? "on" : "off", k.budget ? "on" : "off",
                    k.rescue ? "on" : "off",
                    stats::Table::cell("%.3f", o.completion_s),
-                   stats::Table::cell("%llu", (unsigned long long)o.rtx),
-                   stats::Table::cell("%llu", (unsigned long long)o.timeouts),
-                   stats::Table::cell("%llu", (unsigned long long)o.spurious)});
+                   stats::Table::cell("%llu", static_cast<unsigned long long>(o.rtx)),
+                   stats::Table::cell("%llu", static_cast<unsigned long long>(o.timeouts)),
+                   stats::Table::cell("%llu", static_cast<unsigned long long>(o.spurious))});
   }
   table.print();
 }

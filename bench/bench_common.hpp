@@ -10,6 +10,7 @@
 
 #include "app/flow_factory.hpp"
 #include "app/ftp.hpp"
+#include "audit/audit.hpp"
 #include "harness/sweep.hpp"
 #include "net/drop_tail.hpp"
 #include "net/dumbbell.hpp"
@@ -45,6 +46,13 @@ inline InstrumentedFlow make_instrumented_flow(
   f.flow.sender->add_observer(f.phases.get());
   f.source = std::make_unique<app::FtpSource>(sim, *f.flow.sender, start, bytes);
   return f;
+}
+
+// Attach the build-gated invariant auditor to one instrumented flow
+// (sender + peer receiver, enabling the cross-layer pipe checks). A no-op
+// unless the build sets RRTCP_AUDIT=ON — see src/audit/audit.hpp.
+inline void audit_flow(audit::ScopedAudit& a, InstrumentedFlow& f) {
+  a.attach(*f.flow.sender, f.flow.receiver.get());
 }
 
 inline void print_header(const char* title, const char* paper_ref) {

@@ -72,6 +72,9 @@ Row run_one(app::Variant v, int burst) {
   std::vector<std::pair<sim::Time, std::uint64_t>> delivered;
   f.flow.receiver->set_progress_callback(
       [&](sim::Time t, std::uint64_t bytes) { delivered.emplace_back(t, bytes); });
+  audit::ScopedAudit audit{sim};
+  audit.attach_topology(topo);
+  audit_flow(audit, f);
   sim.run_until(sim::Time::seconds(60));
 
   Row r{};
@@ -113,8 +116,8 @@ void print_table(int burst, const std::vector<Row>& rows) {
     table.add_row({r.name, stats::Table::cell("%.3f", r.recovery_s),
                    stats::Table::cell("%.1f", r.recovery_kbps),
                    stats::Table::cell("%.3f", r.completion_s),
-                   stats::Table::cell("%llu", (unsigned long long)r.rtx),
-                   stats::Table::cell("%llu", (unsigned long long)r.timeouts)});
+                   stats::Table::cell("%llu", static_cast<unsigned long long>(r.rtx)),
+                   stats::Table::cell("%llu", static_cast<unsigned long long>(r.timeouts))});
   }
   table.print();
 }

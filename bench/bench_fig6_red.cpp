@@ -56,6 +56,9 @@ RunOut run_variant(app::Variant v, std::uint64_t seed) {
     flows.push_back(make_instrumented_flow(v, sim, topo, i, start,
                                            std::nullopt, tcfg));
   }
+  audit::ScopedAudit audit{sim};
+  audit.attach_topology(topo);
+  for (auto& f : flows) audit_flow(audit, f);
   const sim::Time horizon = sim::Time::seconds(6);
   sim.run_until(horizon);
 
@@ -142,10 +145,10 @@ int main(int argc, char** argv) {
     const auto& o = outs[i];
     table.add_row({rrtcp::app::to_string(panel[i]),
                    rrtcp::stats::Table::cell("%.1f", o.kbps),
-                   rrtcp::stats::Table::cell("%llu", (unsigned long long)o.timeouts),
-                   rrtcp::stats::Table::cell("%llu", (unsigned long long)o.rtx),
-                   rrtcp::stats::Table::cell("%llu", (unsigned long long)o.red_early),
-                   rrtcp::stats::Table::cell("%llu", (unsigned long long)o.red_forced)});
+                   rrtcp::stats::Table::cell("%llu", static_cast<unsigned long long>(o.timeouts)),
+                   rrtcp::stats::Table::cell("%llu", static_cast<unsigned long long>(o.rtx)),
+                   rrtcp::stats::Table::cell("%llu", static_cast<unsigned long long>(o.red_early)),
+                   rrtcp::stats::Table::cell("%llu", static_cast<unsigned long long>(o.red_forced))});
   }
   table.print();
   std::printf(

@@ -41,6 +41,9 @@ Sample run_one(app::Variant v, double p, std::uint64_t seed) {
 
   auto f = make_instrumented_flow(v, sim, topo, 0, sim::Time::zero(),
                                   std::nullopt);
+  audit::ScopedAudit audit{sim};
+  audit.attach_topology(topo);
+  audit_flow(audit, f);
   const sim::Time warmup = sim::Time::seconds(10);  // start-up ignored
   const sim::Time horizon = sim::Time::seconds(110);
   sim.run_until(horizon);

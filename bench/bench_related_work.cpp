@@ -40,6 +40,9 @@ Out run_burst(app::Variant v, int burst) {
   tcfg.init_ssthresh_pkts = 10;
   auto f = make_instrumented_flow(v, sim, topo, 0, sim::Time::zero(),
                                   100'000, tcfg);
+  audit::ScopedAudit audit{sim};
+  audit.attach_topology(topo);
+  audit_flow(audit, f);
   sim.run_until(sim::Time::seconds(60));
   Out o{};
   o.completion_s = f.flow.sender->completion_time().to_seconds();
@@ -62,6 +65,9 @@ Out run_reordering(app::Variant v) {
   tcfg.init_ssthresh_pkts = 10;
   auto f = make_instrumented_flow(v, sim, topo, 0, sim::Time::zero(),
                                   200'000, tcfg);
+  audit::ScopedAudit audit{sim};
+  audit.attach_topology(topo);
+  audit_flow(audit, f);
   sim.run_until(sim::Time::seconds(120));
   Out o{};
   o.completion_s = f.flow.sender->completion_time().to_seconds();
@@ -78,8 +84,8 @@ void print_burst_table(int burst, const std::vector<Out>& outs,
     const Out& o = outs[first + i];
     table.add_row(
         {app::to_string(kSet[i]), stats::Table::cell("%.3f", o.completion_s),
-         stats::Table::cell("%llu", (unsigned long long)o.rtx),
-         stats::Table::cell("%llu", (unsigned long long)o.timeouts)});
+         stats::Table::cell("%llu", static_cast<unsigned long long>(o.rtx)),
+         stats::Table::cell("%llu", static_cast<unsigned long long>(o.timeouts))});
   }
   table.print();
 }
@@ -92,8 +98,8 @@ void print_reordering_table(const std::vector<Out>& outs, std::size_t first) {
     const Out& o = outs[first + i];
     table.add_row(
         {app::to_string(kSet[i]), stats::Table::cell("%.3f", o.completion_s),
-         stats::Table::cell("%llu", (unsigned long long)o.spurious),
-         stats::Table::cell("%llu", (unsigned long long)o.fast_rtx)});
+         stats::Table::cell("%llu", static_cast<unsigned long long>(o.spurious)),
+         stats::Table::cell("%llu", static_cast<unsigned long long>(o.fast_rtx))});
   }
   table.print();
 }

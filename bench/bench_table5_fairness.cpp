@@ -51,6 +51,9 @@ CaseResult run_case_once(app::Variant target, app::Variant background,
       target, sim, topo, 19, target_start, 100'000));
   auto& tf = flows.back();
 
+  audit::ScopedAudit audit{sim};
+  audit.attach_topology(topo);
+  for (auto& f : flows) audit_flow(audit, f);
   sim.run_until(sim::Time::seconds(200));
 
   CaseResult r{};

@@ -34,7 +34,7 @@ class Narrator final : public tcp::SenderObserver {
                bool rtx) override {
     if (rtx)
       std::printf("%8.3fs  %-8s retransmit pkt %llu\n", now.to_seconds(),
-                  tag_, (unsigned long long)(seq / 1000));
+                  tag_, static_cast<unsigned long long>(seq / 1000));
   }
   void on_phase(sim::Time now, tcp::TcpPhase p) override {
     std::printf("%8.3fs  %-8s phase -> %s\n", now.to_seconds(), tag_,
@@ -80,14 +80,14 @@ void run(app::Variant v, int burst) {
   std::printf("  -> transfer of 100 packets finished at %.3f s "
               "(%llu rtx, %llu timeouts)\n",
               flow.sender->completion_time().to_seconds(),
-              (unsigned long long)st.retransmissions,
-              (unsigned long long)st.timeouts);
+              static_cast<unsigned long long>(st.retransmissions),
+              static_cast<unsigned long long>(st.timeouts));
   if (v == app::Variant::kRr) {
     auto* rr = static_cast<core::RrSender*>(flow.sender.get());
     std::printf("  -> RR detected %llu further losses inside recovery and "
                 "issued %llu rescue retransmissions\n",
-                (unsigned long long)rr->further_loss_events(),
-                (unsigned long long)rr->rescue_retransmissions());
+                static_cast<unsigned long long>(rr->further_loss_events()),
+                static_cast<unsigned long long>(rr->rescue_retransmissions()));
   }
 }
 

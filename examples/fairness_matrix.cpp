@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
   const std::uint64_t kb = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100;
   std::printf("targeted %llu KB transfer vs %d background flows "
               "(0.8 Mbps bottleneck, drop-tail 25)\n",
-              (unsigned long long)kb, n_bg);
+              static_cast<unsigned long long>(kb), n_bg);
   std::printf("cells: transfer delay (s) / loss rate of the target flow\n");
 
   rrtcp::stats::Table table{{"target \\ background", "tahoe", "reno",

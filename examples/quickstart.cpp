@@ -53,13 +53,13 @@ int main(int argc, char** argv) {
   std::printf("goodput:            %.1f kbit/s (bottleneck 800 kbit/s)\n",
               meter.throughput_bps(sim::Time::zero(), horizon) / 1e3);
   std::printf("data packets sent:  %llu (+%llu retransmissions)\n",
-              (unsigned long long)st.data_packets_sent,
-              (unsigned long long)st.retransmissions);
+              static_cast<unsigned long long>(st.data_packets_sent),
+              static_cast<unsigned long long>(st.retransmissions));
   std::printf("fast retransmits:   %llu\n",
-              (unsigned long long)st.fast_retransmits);
-  std::printf("timeouts:           %llu\n", (unsigned long long)st.timeouts);
+              static_cast<unsigned long long>(st.fast_retransmits));
+  std::printf("timeouts:           %llu\n", static_cast<unsigned long long>(st.timeouts));
   std::printf("bottleneck drops:   %llu\n",
-              (unsigned long long)topo.bottleneck().queue().stats().dropped);
+              static_cast<unsigned long long>(topo.bottleneck().queue().stats().dropped));
   std::printf("time in recovery:   %.2f s\n",
               phases.time_in_recovery(horizon).to_seconds());
   std::printf("final cwnd:         %.1f packets\n",

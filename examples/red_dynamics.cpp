@@ -68,10 +68,10 @@ int main(int argc, char** argv) {
         flows[i].receiver->bytes_in_order() * 8.0 / horizon.to_seconds() / 1e3;
     total += kbps;
     std::printf("  flow %2d: %6.1f kbit/s (%llu timeouts)\n", i + 1, kbps,
-                (unsigned long long)flows[i].sender->stats().timeouts);
+                static_cast<unsigned long long>(flows[i].sender->stats().timeouts));
   }
   std::printf("  total:   %6.1f kbit/s of 800 (early drops %llu, forced %llu)\n",
-              total, (unsigned long long)red->early_drops(),
-              (unsigned long long)red->forced_drops());
+              total, static_cast<unsigned long long>(red->early_drops()),
+              static_cast<unsigned long long>(red->forced_drops()));
   return 0;
 }

@@ -160,21 +160,21 @@ int main(int argc, char** argv) {
                    stats::Table::cell("%.1f", kbps),
                    flows[i].sender->complete() ? "yes" : "-",
                    stats::Table::cell("%llu",
-                                      (unsigned long long)st.retransmissions),
-                   stats::Table::cell("%llu", (unsigned long long)st.timeouts),
+                                      static_cast<unsigned long long>(st.retransmissions)),
+                   stats::Table::cell("%llu", static_cast<unsigned long long>(st.timeouts)),
                    stats::Table::cell("%llu",
-                                      (unsigned long long)st.ecn_reductions)});
+                                      static_cast<unsigned long long>(st.ecn_reductions))});
   }
   std::printf("%s x%d over %s (buffer %llu pkts), %.0f s\n",
               app::to_string(o.variant), o.flows,
               o.red ? (o.ecn ? "RED+ECN" : "RED") : "drop-tail",
-              (unsigned long long)o.buffer, o.time_s);
+              static_cast<unsigned long long>(o.buffer), o.time_s);
   table.print();
   std::printf("aggregate: %.1f of 800 kbit/s; bottleneck drops %llu%s\n",
               total,
-              (unsigned long long)topo.bottleneck().queue().stats().dropped,
+              static_cast<unsigned long long>(topo.bottleneck().queue().stats().dropped),
               red ? stats::Table::cell(", ECN marks %llu",
-                                       (unsigned long long)red->ecn_marks())
+                                       static_cast<unsigned long long>(red->ecn_marks()))
                         .c_str()
                   : "");
   return 0;

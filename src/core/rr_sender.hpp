@@ -46,7 +46,10 @@
 
 namespace rrtcp::core {
 
-class RrSender final : public tcp::TcpSenderBase {
+// Not `final`: the audit layer's mutation self-checks (tests/audit) derive
+// test-only BrokenSender variants that re-introduce classic accounting bugs
+// and assert the InvariantAuditor catches each one.
+class RrSender : public tcp::TcpSenderBase {
  public:
   using TcpSenderBase::TcpSenderBase;
 
@@ -58,6 +61,9 @@ class RrSender final : public tcp::TcpSenderBase {
   bool in_probe() const { return state_ == State::kProbe; }
   long actnum() const { return actnum_; }
   long ndup() const { return ndup_; }
+  // New packets sent during the retreat RTT — the measured in-flight count
+  // a single-loss (retreat) exit hands to cwnd.
+  long sent_in_retreat() const { return sent_in_retreat_; }
   std::uint64_t recover_point() const { return recover_; }
   // Number of further-loss events detected via the ndup/actnum comparison
   // (i.e. without fast retransmit or timeout).

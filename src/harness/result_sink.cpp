@@ -72,7 +72,7 @@ Record& Record::set(std::string key, double value) {
 
 Record& Record::set(std::string key, std::uint64_t value) {
   char buf[32];
-  std::snprintf(buf, sizeof buf, "%llu", (unsigned long long)value);
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(value));
   fields_.push_back({std::move(key), buf, /*numeric=*/true});
   return *this;
 }
@@ -165,7 +165,7 @@ std::string ResultSink::to_json(std::string_view sweep_name,
   std::string out = "{\n  \"sweep\": \"";
   out += json_escape(sweep_name);
   std::snprintf(buf, sizeof buf, "\",\n  \"base_seed\": %llu,\n",
-                (unsigned long long)base_seed);
+                static_cast<unsigned long long>(base_seed));
   out += buf;
   out += "  \"jobs\": [\n";
   for (std::size_t i = 0; i < records_.size(); ++i) {

@@ -114,16 +114,16 @@ SweepCli SweepCli::parse(int argc, char** argv) {
     // Numeric values must parse in full: "--threads=abc" or "--seed="
     // silently meaning "default" would hide typos in scripted runs.
     char* end = nullptr;
-    if (const char* v = value_of("--threads=")) {
-      cli.options.threads = static_cast<int>(std::strtol(v, &end, 10));
-      if (end == v || *end != '\0') usage_error(argv[i]);
-    } else if (const char* v = value_of("--seed=")) {
-      cli.options.base_seed = std::strtoull(v, &end, 10);
-      if (end == v || *end != '\0') usage_error(argv[i]);
-    } else if (const char* v = value_of("--csv=")) {
-      cli.csv_path = v;
-    } else if (const char* v = value_of("--json=")) {
-      cli.json_path = v;
+    if (const char* threads = value_of("--threads=")) {
+      cli.options.threads = static_cast<int>(std::strtol(threads, &end, 10));
+      if (end == threads || *end != '\0') usage_error(argv[i]);
+    } else if (const char* seed = value_of("--seed=")) {
+      cli.options.base_seed = std::strtoull(seed, &end, 10);
+      if (end == seed || *end != '\0') usage_error(argv[i]);
+    } else if (const char* csv = value_of("--csv=")) {
+      cli.csv_path = csv;
+    } else if (const char* json = value_of("--json=")) {
+      cli.json_path = json;
     } else {
       usage_error(argv[i]);
     }

@@ -20,6 +20,7 @@ bool DropTailQueue::enqueue(Packet p) {
   bytes_ += p.size_bytes;
   q_.push_back(std::move(p));
   ++stats_.enqueued;
+  note_enqueue(q_.back());
   return true;
 }
 
@@ -30,6 +31,7 @@ std::optional<Packet> DropTailQueue::dequeue() {
   RRTCP_DASSERT(bytes_ >= p.size_bytes);
   bytes_ -= p.size_bytes;
   ++stats_.dequeued;
+  note_dequeue(p);
   return p;
 }
 

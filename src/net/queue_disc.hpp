@@ -21,6 +21,26 @@ struct QueueStats {
   std::uint64_t bytes_dropped = 0;
 };
 
+// Why a packet was rejected: a physical buffer overflow, or a drop the
+// discipline chose (RED's probabilistic / threshold drops). DropTail only
+// ever overflows.
+enum class DropReason : std::uint8_t { kOverflow, kEarly };
+
+class QueueDisc;
+
+// Per-event observer for queue disciplines; used by the protocol-invariant
+// auditor (src/audit) to cross-check a queue's own accounting against the
+// event stream. All methods have empty defaults. Dispatch is a single
+// branch-on-null per operation when no observer is attached.
+class QueueObserver {
+ public:
+  virtual ~QueueObserver() = default;
+  virtual void on_enqueue(const Packet& /*p*/, const QueueDisc& /*q*/) {}
+  virtual void on_dequeue(const Packet& /*p*/, const QueueDisc& /*q*/) {}
+  virtual void on_drop(const Packet& /*p*/, DropReason /*why*/,
+                       const QueueDisc& /*q*/) {}
+};
+
 class QueueDisc {
  public:
   virtual ~QueueDisc() = default;
@@ -46,18 +66,33 @@ class QueueDisc {
     drop_fn_ = std::move(fn);
   }
 
+  // Attach (or, with nullptr, detach) a per-event observer. One observer
+  // per queue; the caller keeps ownership.
+  void set_observer(QueueObserver* obs) { observer_ = obs; }
+
  protected:
   // Implementations call this for every rejected packet.
-  void note_drop(const Packet& p) {
+  void note_drop(const Packet& p, DropReason why = DropReason::kOverflow) {
     ++stats_.dropped;
     stats_.bytes_dropped += p.size_bytes;
     if (drop_fn_) drop_fn_(p);
+    if (observer_ != nullptr) observer_->on_drop(p, why, *this);
+  }
+
+  // Implementations call these for every admitted / released packet, after
+  // updating their occupancy and stats.
+  void note_enqueue(const Packet& p) {
+    if (observer_ != nullptr) observer_->on_enqueue(p, *this);
+  }
+  void note_dequeue(const Packet& p) {
+    if (observer_ != nullptr) observer_->on_dequeue(p, *this);
   }
 
   QueueStats stats_;
 
  private:
   std::function<void(const Packet&)> drop_fn_;
+  QueueObserver* observer_ = nullptr;
 };
 
 }  // namespace rrtcp::net

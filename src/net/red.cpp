@@ -87,7 +87,7 @@ bool RedQueue::enqueue(Packet p) {
   }
 
   if (drop) {
-    note_drop(p);
+    note_drop(p, early ? DropReason::kEarly : DropReason::kOverflow);
     if (early)
       ++early_drops_;
     else
@@ -102,6 +102,7 @@ bool RedQueue::enqueue(Packet p) {
   bytes_ += p.size_bytes;
   q_.push_back(std::move(p));
   ++stats_.enqueued;
+  note_enqueue(q_.back());
   return true;
 }
 
@@ -111,6 +112,7 @@ std::optional<Packet> RedQueue::dequeue() {
   q_.pop_front();
   bytes_ -= p.size_bytes;
   ++stats_.dequeued;
+  note_dequeue(p);
   if (q_.empty()) {
     idle_ = true;
     idle_since_ = sim_.now();

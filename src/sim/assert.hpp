@@ -3,6 +3,14 @@
 // RRTCP_ASSERT is always compiled in (simulation correctness beats the
 // negligible cost of a predictable branch); RRTCP_DASSERT compiles away in
 // NDEBUG builds and is meant for hot-path checks.
+//
+// Context dumps: a failing check prints expr/file/line as usual, then — if a
+// context provider is registered — whatever that provider knows about the
+// recent past. The audit layer (src/audit) registers one per simulation that
+// prints the current sim-time and its ring buffer of recent protocol events,
+// so an aborting run ends with the event history that led to the violation
+// instead of a bare expression. The provider slot is thread_local: parallel
+// sweep workers each audit their own simulation without synchronizing.
 #pragma once
 
 #include <cstdio>
@@ -10,10 +18,48 @@
 
 namespace rrtcp {
 
+// A context provider dumps human-readable state to `out`. `arg` is whatever
+// was registered alongside the function (typically the auditor itself).
+using AssertContextFn = void (*)(void* arg, std::FILE* out);
+
+namespace detail {
+inline thread_local AssertContextFn assert_context_fn = nullptr;
+inline thread_local void* assert_context_arg = nullptr;
+}  // namespace detail
+
+// Registers (or, with nullptr, clears) this thread's context provider.
+// Returns the previous provider so scoped users can restore it.
+inline AssertContextFn set_assert_context(AssertContextFn fn, void* arg) {
+  AssertContextFn prev = detail::assert_context_fn;
+  detail::assert_context_fn = fn;
+  detail::assert_context_arg = arg;
+  return prev;
+}
+
+inline void dump_assert_context(std::FILE* out) {
+  if (detail::assert_context_fn != nullptr)
+    detail::assert_context_fn(detail::assert_context_arg, out);
+}
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {
   std::fprintf(stderr, "rrtcp assertion failed: %s\n  at %s:%d\n  %s\n", expr,
                file, line, msg ? msg : "");
+  dump_assert_context(stderr);
+  std::abort();
+}
+
+// Audit-layer failure: an invariant with a stable ID (see
+// src/audit/invariant_auditor.hpp) was violated. Prints the ID, the
+// human-readable detail, then the registered context (sim-time + recent
+// protocol events) before aborting.
+[[noreturn]] inline void audit_fail(const char* invariant_id,
+                                    const char* detail, const char* file,
+                                    int line) {
+  std::fprintf(stderr,
+               "rrtcp protocol invariant violated: %s\n  at %s:%d\n  %s\n",
+               invariant_id, file, line, detail ? detail : "");
+  dump_assert_context(stderr);
   std::abort();
 }
 
@@ -28,6 +74,11 @@ namespace rrtcp {
   do {                                                           \
     if (!(expr)) ::rrtcp::assert_fail(#expr, __FILE__, __LINE__, msg); \
   } while (0)
+
+// Unconditional audit failure with a stable invariant ID; used by the audit
+// layer's abort mode. `id` and `detail` are C strings.
+#define RR_AUDIT_FAIL(id, detail) \
+  ::rrtcp::audit_fail((id), (detail), __FILE__, __LINE__)
 
 #ifdef NDEBUG
 #define RRTCP_DASSERT(expr) ((void)0)

@@ -192,6 +192,7 @@ void TcpSenderBase::receive(net::Packet p) {
     notify_ack(h.ack, false);
     handle_new_ack(h, newly);
     check_complete();
+    notify_ack_processed(h.ack, false);
     return;
   }
 
@@ -200,6 +201,7 @@ void TcpSenderBase::receive(net::Packet p) {
     ++dupacks_;
     notify_ack(h.ack, true);
     handle_dup_ack(h);
+    notify_ack_processed(h.ack, true);
     return;
   }
   // Old ACK (below snd_una_): ignore.
@@ -278,6 +280,10 @@ void TcpSenderBase::notify_send(std::uint64_t seq, std::uint32_t len,
 
 void TcpSenderBase::notify_ack(std::uint64_t ack, bool dup) {
   for (auto* o : observers_) o->on_ack(sim_.now(), ack, dup);
+}
+
+void TcpSenderBase::notify_ack_processed(std::uint64_t ack, bool dup) {
+  for (auto* o : observers_) o->on_ack_processed(sim_.now(), ack, dup);
 }
 
 }  // namespace rrtcp::tcp

@@ -76,6 +76,9 @@ class TcpSenderBase : public net::Agent {
   std::uint64_t flight_bytes() const { return snd_nxt_ - snd_una_; }
 
   void add_observer(SenderObserver* obs) { observers_.push_back(obs); }
+  void remove_observer(SenderObserver* obs) {
+    std::erase(observers_, obs);
+  }
 
   virtual const char* variant_name() const = 0;
 
@@ -154,6 +157,7 @@ class TcpSenderBase : public net::Agent {
   void check_complete();
   void notify_send(std::uint64_t seq, std::uint32_t len, bool rtx);
   void notify_ack(std::uint64_t ack, bool dup);
+  void notify_ack_processed(std::uint64_t ack, bool dup);
 
   net::Node& node_;
   net::FlowId flow_;

@@ -99,15 +99,21 @@ struct SenderStats {
   std::uint64_t ecn_reductions = 0;  // once-per-window ECE responses
 };
 
-// Observer for sender-side events; used by tracers, tests and examples.
-// All methods have empty defaults so observers override only what they use.
+// Observer for sender-side events; used by tracers, tests, examples and the
+// protocol-invariant auditor (src/audit). All methods have empty defaults so
+// observers override only what they use.
 class SenderObserver {
  public:
   virtual ~SenderObserver() = default;
   virtual void on_send(sim::Time /*now*/, std::uint64_t /*seq*/,
                        std::uint32_t /*len*/, bool /*retransmission*/) {}
+  // Fires when an ACK arrives, BEFORE the variant's handler runs.
   virtual void on_ack(sim::Time /*now*/, std::uint64_t /*ack*/,
                       bool /*duplicate*/) {}
+  // Fires after the variant's handler for the same ACK has completed, so the
+  // observer sees the post-event sender state (the auditor's check point).
+  virtual void on_ack_processed(sim::Time /*now*/, std::uint64_t /*ack*/,
+                                bool /*duplicate*/) {}
   virtual void on_phase(sim::Time /*now*/, TcpPhase /*phase*/) {}
   virtual void on_timeout(sim::Time /*now*/) {}
   virtual void on_cwnd(sim::Time /*now*/, double /*cwnd_packets*/) {}

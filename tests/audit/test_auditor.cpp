@@ -1,0 +1,133 @@
+// Mechanism tests for the audit layer itself: session bookkeeping (record
+// vs abort modes, violation capture, assert-context registration) and the
+// queue auditor's accounting cross-checks, including a deliberately lying
+// queue that proves Q_CONSERVE is checked against the event stream rather
+// than trusted from the queue's own stats.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <optional>
+
+#include "../testutil.hpp"
+#include "audit/invariant_auditor.hpp"
+#include "broken_senders.hpp"
+#include "net/drop_tail.hpp"
+#include "net/red.hpp"
+#include "sim/simulator.hpp"
+
+namespace rrtcp::audit {
+namespace {
+
+[[maybe_unused]] tcp::TcpConfig cwnd(std::uint64_t pkts) {
+  tcp::TcpConfig cfg;
+  cfg.init_cwnd_pkts = pkts;
+  return cfg;
+}
+
+// A queue whose stats lie: admissions bypass the stats counter while still
+// emitting the observer event, exactly the kind of silent accounting drift
+// the auditor exists to catch.
+class LyingQueue final : public net::QueueDisc {
+ public:
+  bool enqueue(net::Packet p) override {
+    q_.push_back(std::move(p));  // "forgets" ++stats_.enqueued
+    note_enqueue(q_.back());
+    return true;
+  }
+  std::optional<net::Packet> dequeue() override {
+    if (q_.empty()) return std::nullopt;
+    net::Packet p = std::move(q_.front());
+    q_.pop_front();
+    ++stats_.dequeued;
+    note_dequeue(p);
+    return p;
+  }
+  std::size_t len_packets() const override { return q_.size(); }
+  std::uint64_t len_bytes() const override { return 0; }
+
+ private:
+  std::deque<net::Packet> q_;
+};
+
+TEST(AuditSessionTest, DropTailAccountingIsClean) {
+  sim::Simulator sim;
+  net::DropTailQueue q{2};
+  AuditSession session{sim, AuditSession::FailMode::kRecord};
+  session.attach_queue(q, "dt");
+  EXPECT_TRUE(q.enqueue(test::make_data(1, 0, 1000)));
+  EXPECT_TRUE(q.enqueue(test::make_data(1, 1000, 1000)));
+  EXPECT_FALSE(q.enqueue(test::make_data(1, 2000, 1000)));  // overflow
+  EXPECT_TRUE(q.dequeue().has_value());
+  EXPECT_TRUE(q.dequeue().has_value());
+  EXPECT_FALSE(q.dequeue().has_value());
+  EXPECT_TRUE(session.clean());
+}
+
+TEST(AuditSessionTest, LyingQueueStatsTripQueueConserve) {
+  sim::Simulator sim;
+  LyingQueue q;
+  AuditSession session{sim, AuditSession::FailMode::kRecord};
+  session.attach_queue(q, "liar");
+  q.enqueue(test::make_data(1, 0, 1000));
+  EXPECT_GT(session.count(InvariantId::kQueueConserve), 0u);
+}
+
+TEST(AuditSessionTest, RedQueueUnderLoadIsClean) {
+  sim::Simulator sim;
+  net::RedConfig cfg;  // paper Table 4 defaults: buffer 25, th 5/20
+  net::RedQueue q{sim, cfg};
+  AuditSession session{sim, AuditSession::FailMode::kRecord};
+  session.attach_queue(q, "red");
+  // Push the queue through empty -> congested -> drained so the average
+  // crosses min_th and early drops occur, all of which must self-account.
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 40; ++round) {
+    for (int burst = 0; burst < 4; ++burst)
+      q.enqueue(test::make_data(1, (seq++) * 1000, 1000));
+    q.dequeue();
+  }
+  while (q.dequeue().has_value()) {
+  }
+  EXPECT_GT(q.stats().dropped, 0u);  // the scenario actually exercised drops
+  EXPECT_TRUE(session.clean());
+}
+
+TEST(AuditSessionTest, ViolationsRecordIdTimeAndDetail) {
+  sim::Simulator sim;
+  LyingQueue q;
+  AuditSession session{sim, AuditSession::FailMode::kRecord};
+  session.attach_queue(q, "liar");
+  q.enqueue(test::make_data(1, 0, 1000));
+  ASSERT_FALSE(session.clean());
+  const Violation& v = session.violations().front();
+  EXPECT_EQ(v.id, InvariantId::kQueueConserve);
+  EXPECT_FALSE(v.detail.empty());
+  EXPECT_EQ(session.total_violations(), session.violations().size());
+}
+
+TEST(AuditSessionTest, EveryInvariantHasNameAndCitation) {
+  for (int i = 0; i < static_cast<int>(InvariantId::kCount); ++i) {
+    const auto id = static_cast<InvariantId>(i);
+    EXPECT_NE(to_string(id), nullptr);
+    EXPECT_GT(std::string(to_string(id)).size(), 0u);
+    EXPECT_GT(std::string(citation(id)).size(), 0u);
+  }
+}
+
+#if GTEST_HAS_DEATH_TEST
+[[maybe_unused]] void drive_broken_ssthresh_abort() {
+  test::SenderHarness<test::BrokenSsthreshSender> h{cwnd(10)};
+  AuditSession session{h.sim, AuditSession::FailMode::kAbort};
+  session.attach(h.sender());
+  h.sender().start();
+  h.dupacks(3);  // mutant un-halves ssthresh at entry
+}
+
+TEST(AuditSessionDeathTest, AbortModeDiesLoudlyWithInvariantName) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(drive_broken_ssthresh_abort(), "RR_SSTHRESH_HALVE");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
+}  // namespace
+}  // namespace rrtcp::audit

@@ -1,0 +1,117 @@
+// Teeth tests for the invariant auditor: every BrokenSender mutant in
+// broken_senders.hpp re-introduces one classic accounting bug, and each
+// test pins that the auditor flags it under the SPECIFIC invariant ID the
+// mutation violates. Control tests drive the healthy RrSender through the
+// same scenarios and assert a spotless session, so the checks are proven
+// both sensitive and precise.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "audit/invariant_auditor.hpp"
+#include "broken_senders.hpp"
+#include "core/rr_sender.hpp"
+
+namespace rrtcp::audit {
+namespace {
+
+using test::SenderHarness;
+
+tcp::TcpConfig cwnd(std::uint64_t pkts) {
+  tcp::TcpConfig cfg;
+  cfg.init_cwnd_pkts = pkts;
+  return cfg;
+}
+
+// Attaches a recording session to a harness-driven sender.
+template <typename SenderT>
+struct AuditedHarness {
+  explicit AuditedHarness(tcp::TcpConfig cfg)
+      : h{cfg}, session{h.sim, AuditSession::FailMode::kRecord} {
+    session.attach(h.sender());
+  }
+  SenderHarness<SenderT> h;
+  AuditSession session;
+};
+
+TEST(MutationChecks, DormantCountingTripsProbeClock) {
+  AuditedHarness<test::BrokenDormantCountingSender> a{cwnd(10)};
+  a.h.sender().start();
+  a.h.dupacks(3);  // entrance: retreat
+  a.h.ack(4000);   // first partial ACK: probe
+  a.h.dupacks(2);  // mutant bursts 3 new packets per dup ACK
+  EXPECT_GT(a.session.count(InvariantId::kRrProbeClock), 0u);
+}
+
+TEST(MutationChecks, FullRateRetreatTripsRetreatHalf) {
+  AuditedHarness<test::BrokenRetreatSender> a{cwnd(10)};
+  a.h.sender().start();
+  a.h.dupacks(3);  // entrance
+  a.h.dupacks(4);  // mutant sends one NEW packet per dup ACK (no back-off)
+  EXPECT_GT(a.session.count(InvariantId::kRrRetreatHalf), 0u);
+}
+
+TEST(MutationChecks, StaleCwndExitTripsWindowGrowth) {
+  AuditedHarness<test::BrokenExitSender> a{cwnd(10)};
+  a.h.sender().start();
+  a.h.dupacks(3);
+  a.h.dupacks(4);   // retreat: 2 new packets
+  a.h.ack(4000);    // probe, actnum 2
+  a.h.dupacks(2);
+  a.h.ack(8000);    // clean boundary, actnum 3
+  a.h.dupacks(3);
+  a.h.ack(18'000);  // exit, pipe emptied — mutant restores pre-loss window
+  EXPECT_GT(a.session.count(InvariantId::kWndGrowth), 0u);
+  // The restored over-count also releases a visible line-rate burst.
+  EXPECT_GT(a.session.count(InvariantId::kRrExitBurst), 0u);
+}
+
+TEST(MutationChecks, UnhalvedSsthreshTripsSsthreshHalve) {
+  AuditedHarness<test::BrokenSsthreshSender> a{cwnd(10)};
+  a.h.sender().start();
+  a.h.dupacks(3);  // entrance — mutant restores the old ssthresh
+  EXPECT_GT(a.session.count(InvariantId::kRrSsthreshHalve), 0u);
+}
+
+// ---- Controls: the healthy sender through the same journeys is clean. ----
+
+TEST(MutationChecks, CleanSenderFullEpisodeIsViolationFree) {
+  AuditedHarness<core::RrSender> a{cwnd(10)};
+  a.h.sender().start();
+  a.h.dupacks(3);
+  a.h.dupacks(4);
+  a.h.ack(4000);
+  a.h.dupacks(2);
+  a.h.ack(8000);
+  a.h.dupacks(3);
+  a.h.ack(12'000);  // exit: cwnd = actnum * MSS
+  if (!a.session.clean()) a.session.dump(stderr);
+  EXPECT_TRUE(a.session.clean());
+  EXPECT_EQ(a.session.total_violations(), 0u);
+}
+
+TEST(MutationChecks, CleanSenderFurtherLossIsViolationFree) {
+  AuditedHarness<core::RrSender> a{cwnd(10)};
+  a.h.sender().start();
+  a.h.dupacks(3);
+  a.h.dupacks(5);
+  a.h.ack(4000);
+  a.h.dupacks(1);   // one retreat packet lost
+  a.h.ack(10'000);  // further loss detected via ndup < actnum
+  a.h.dupacks(1);
+  a.h.ack(13'000);  // exit at the extended recover point
+  if (!a.session.clean()) a.session.dump(stderr);
+  EXPECT_TRUE(a.session.clean());
+}
+
+TEST(MutationChecks, CleanSenderTimeoutAbortIsViolationFree) {
+  AuditedHarness<core::RrSender> a{cwnd(10)};
+  a.h.sender().start();
+  a.h.dupacks(3);
+  a.h.sim.run_until(sim::Time::seconds(5));  // RTO abandons recovery
+  ASSERT_GE(a.h.sender().stats().timeouts, 1u);
+  if (!a.session.clean()) a.session.dump(stderr);
+  EXPECT_TRUE(a.session.clean());
+}
+
+}  // namespace
+}  // namespace rrtcp::audit

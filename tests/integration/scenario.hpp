@@ -8,6 +8,7 @@
 
 #include "app/flow_factory.hpp"
 #include "app/ftp.hpp"
+#include "audit/audit.hpp"
 #include "net/drop_tail.hpp"
 #include "net/dumbbell.hpp"
 #include "sim/simulator.hpp"
@@ -64,6 +65,12 @@ inline ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     sources.push_back(std::make_unique<app::FtpSource>(
         sim, *flows.back().sender, cfg.stagger * i, cfg.bytes));
   }
+
+  // Build-gated protocol auditing (RRTCP_AUDIT=ON): every integration
+  // scenario then runs under the full invariant set, abort-on-violation.
+  audit::ScopedAudit audit{sim};
+  audit.attach_topology(topo);
+  for (auto& f : flows) audit.attach(*f.sender, f.receiver.get());
 
   sim.run_until(cfg.horizon);
 
