@@ -1,0 +1,153 @@
+// Chaos soak: randomized-but-reproducible fault schedules against every
+// sender variant, with the protocol-invariant auditor and the liveness
+// watchdog armed. The acceptance gate for the chaos engine:
+//
+//   * every flow completes or stays alive (RTO armed) — graceful
+//     degradation under outages, ACK loss/duplication, burst loss and
+//     delay spikes;
+//   * zero audit violations, zero watchdog reports.
+//
+// Usage:
+//   chaos_soak [--schedules=N] [--seed=S] [--threads=N]
+//              [--csv=PATH] [--json=PATH]
+//   chaos_soak --replay=0xSEED          # re-run one schedule, verbose
+//
+// Every row of the sweep carries its plan seed; a failing schedule is
+// replayed byte-identically with --replay=<that seed>, independent of
+// --schedules/--seed/thread count.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/chaos_sweep.hpp"
+#include "harness/sweep.hpp"
+
+namespace {
+
+using namespace rrtcp;  // NOLINT(google-build-using-namespace)
+
+[[noreturn]] void usage(const char* bad) {
+  std::fprintf(stderr,
+               "unknown argument: %s\n"
+               "usage: chaos_soak [--schedules=N] [--seed=S] [--threads=N]\n"
+               "                  [--csv=PATH] [--json=PATH] [--replay=0xS]\n",
+               bad);
+  std::exit(2);
+}
+
+int replay(std::uint64_t plan_seed, const harness::ChaosSoakOptions& opts) {
+  const chaos::FaultPlan plan = chaos::make_random_plan(plan_seed, opts.bounds);
+  std::printf("replaying plan seed 0x%016llx: %s\n",
+              static_cast<unsigned long long>(plan_seed),
+              plan.describe().c_str());
+  int failures = 0;
+  for (const app::Variant v : opts.variants) {
+    harness::ChaosRunConfig cfg = opts.base;
+    cfg.variant = v;
+    std::vector<chaos::WatchdogReport> reports;
+    std::vector<audit::Violation> violations;
+    const harness::ChaosRunOutcome out =
+        harness::run_chaos_schedule(plan, plan_seed, cfg, &reports,
+                                    &violations);
+    std::printf(
+        "  %-8s %s: complete=%d alive=%d dead=%d timeouts=%llu rtx=%llu "
+        "drops=%llu violations=%llu watchdog=%llu\n",
+        app::to_string(v), out.graceful ? "GRACEFUL" : "FAILED",
+        out.flows_complete, out.flows_alive, out.flows_dead,
+        static_cast<unsigned long long>(out.timeouts),
+        static_cast<unsigned long long>(out.retransmissions),
+        static_cast<unsigned long long>(out.fault_drops),
+        static_cast<unsigned long long>(out.audit_violations),
+        static_cast<unsigned long long>(out.watchdog_reports));
+    for (const audit::Violation& viol : violations)
+      std::printf("    audit %s t=%.6fs: %s\n", audit::to_string(viol.id),
+                  viol.t.to_seconds(), viol.detail.c_str());
+    for (const chaos::WatchdogReport& r : reports)
+      std::printf("    %s t=%.6fs %s: %s\n", chaos::to_string(r.id),
+                  r.t.to_seconds(), r.who.c_str(), r.detail.c_str());
+    if (!out.graceful) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ChaosSoakOptions opts;
+  harness::SweepCli cli;
+  bool do_replay = false;
+  std::uint64_t replay_seed = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    char* end = nullptr;
+    if (const char* v = value_of("--schedules=")) {
+      opts.n_schedules = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0' || opts.n_schedules < 1) usage(argv[i]);
+    } else if (const char* v = value_of("--seed=")) {
+      cli.options.base_seed = std::strtoull(v, &end, 0);
+      if (end == v || *end != '\0') usage(argv[i]);
+    } else if (const char* v = value_of("--threads=")) {
+      cli.options.threads = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0') usage(argv[i]);
+    } else if (const char* v = value_of("--csv=")) {
+      cli.csv_path = v;
+    } else if (const char* v = value_of("--json=")) {
+      cli.json_path = v;
+    } else if (const char* v = value_of("--replay=")) {
+      replay_seed = std::strtoull(v, &end, 0);  // base 0: accepts 0x...
+      if (end == v || *end != '\0') usage(argv[i]);
+      do_replay = true;
+    } else {
+      usage(argv[i]);
+    }
+  }
+
+  if (do_replay) return replay(replay_seed, opts);
+
+  const std::vector<harness::ScenarioSpec> jobs =
+      harness::make_chaos_jobs(opts, cli.options.base_seed);
+  harness::ResultSink sink{jobs.size()};
+  const harness::SweepTiming timing =
+      harness::run_sweep(jobs, sink, cli.options);
+  harness::report("chaos_soak", cli, sink, timing);
+
+  // Verdict + differential summary.
+  int failures = 0;
+  for (std::size_t i = 0; i < sink.size(); ++i) {
+    const harness::Record& row = sink.record(i);
+    if (row.get("graceful") != "1") {
+      ++failures;
+      std::printf("FAILING schedule %s (plan %s)\n  replay: chaos_soak "
+                  "--replay=%s\n",
+                  std::string{row.get("id")}.c_str(),
+                  std::string{row.get("plan")}.c_str(),
+                  std::string{row.get("plan_seed")}.c_str());
+    }
+  }
+  std::printf("\nchaos soak: %d schedules x %zu variants, %d failure(s)\n",
+              opts.n_schedules, opts.variants.size(), failures);
+  for (const app::Variant v : opts.variants) {
+    int complete = 0;
+    int rows = 0;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < sink.size(); ++i) {
+      const harness::Record& row = sink.record(i);
+      if (row.get("variant") != app::to_string(v)) continue;
+      ++rows;
+      complete += std::atoi(std::string{row.get("complete")}.c_str());
+      worst = std::max(
+          worst, std::atof(std::string{row.get("last_completion_s")}.c_str()));
+    }
+    std::printf("  %-8s %3d/%d flows complete, worst completion %.2fs\n",
+                app::to_string(v), complete, rows * opts.base.n_flows, worst);
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -40,6 +40,8 @@ constexpr IdInfo kIdInfo[] = {
     {"Q_CAPACITY", "Table 3 buffer sizes in packets"},
     {"RED_AVG_RANGE", "Floyd & Jacobson 1993 §4; Table 4"},
     {"RED_DROP_REGION", "Floyd & Jacobson 1993 §4: drop only if avg >= min_th"},
+    {"RTO_ARMED", "§2 coarse timeout as last-resort recovery; RFC 6298 §5"},
+    {"RTO_BACKOFF", "Karn & Partridge 1987; RFC 6298 §5.5 exponential backoff"},
 };
 static_assert(std::size(kIdInfo) == static_cast<std::size_t>(InvariantId::kCount));
 
@@ -203,6 +205,33 @@ void InvariantAuditor::on_send(sim::Time now, std::uint64_t seq,
                  sender_.snd_nxt()});
   ++data_sends_;
 
+  // The base arms the retransmission timer before notifying, so any send
+  // observed without a pending timer means the sender disarmed its own
+  // escape hatch.
+  if (!sender_.rto_pending()) {
+    session_.fail(InvariantId::kRtoArmed, now,
+                  "send at seq=%llu with no RTO timer pending",
+                  static_cast<unsigned long long>(seq));
+  }
+  // The first send after a timeout is the go-back-N retransmission; by then
+  // the back-off count must have grown, or rto() is already pinned at
+  // max_rto where backoff() saturates by design. Comparing the count, not
+  // rto(), because the min_rto floor can mask an early doubling (250ms
+  // doubled to 500ms still clamps to a 1s floor).
+  if (backoff_check_pending_) {
+    const int after = sender_.rto_estimator().backoff_count();
+    if (after <= pre_timeout_backoff_ &&
+        sender_.rto_estimator().rto() < sender_.config().max_rto) {
+      session_.fail(InvariantId::kRtoBackoff, now,
+                    "backoff count %d -> %d across a timeout (RTO %.3fs, "
+                    "max %.3fs)",
+                    pre_timeout_backoff_, after,
+                    sender_.rto_estimator().rto().to_seconds(),
+                    sender_.config().max_rto.to_seconds());
+    }
+    backoff_check_pending_ = false;
+  }
+
   // notify_send fires before snd_nxt advances: a first transmission starts
   // exactly at snd_nxt; a retransmission resends data below max_sent.
   if (!rtx) {
@@ -326,6 +355,8 @@ void InvariantAuditor::on_phase(sim::Time now, tcp::TcpPhase phase) {
 void InvariantAuditor::on_timeout(sim::Time now) {
   session_.note({now, "timeout", sender_.variant_name(), sender_.snd_una()});
   timeout_pending_ = true;
+  pre_timeout_backoff_ = sender_.rto_estimator().backoff_count();
+  backoff_check_pending_ = true;
 }
 
 void InvariantAuditor::on_cwnd(sim::Time now, double /*cwnd_packets*/) {
@@ -431,6 +462,16 @@ void InvariantAuditor::check_state(sim::Time now) {
                   static_cast<unsigned long long>(maxs));
   }
   last_una_ = una;
+
+  // Liveness: with data outstanding the retransmission timer is the only
+  // guaranteed way out of total ACK loss, so it must be pending after every
+  // processed ACK. A sender that disarms it can die silently.
+  if (una < maxs && !sender_.rto_pending()) {
+    session_.fail(InvariantId::kRtoArmed, now,
+                  "una=%llu < max_sent=%llu but no RTO timer pending",
+                  static_cast<unsigned long long>(una),
+                  static_cast<unsigned long long>(maxs));
+  }
 
   if (sender_.stats().bytes_acked != una) {
     session_.fail(InvariantId::kAckedTotal, now,

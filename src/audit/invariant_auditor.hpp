@@ -76,6 +76,10 @@ enum class InvariantId : std::uint8_t {
   kQueueCapacity,    // occupancy never exceeds the configured buffer
   kRedAvgRange,      // RED avg in [0, buffer_packets]
   kRedDropRegion,    // RED early drops/marks only when avg >= min_th
+  // Liveness invariants (chaos engine): the coarse timeout is the paper's
+  // last-resort recovery, so the escape hatch must stay armed and back off.
+  kRtoArmed,         // data outstanding => retransmission timer pending
+  kRtoBackoff,       // RTO grows across a timeout (unless pinned at max_rto)
   kCount,
 };
 
@@ -154,6 +158,8 @@ class InvariantAuditor final : public tcp::SenderObserver {
   bool in_episode_ = false;
   bool seen_exit_cwnd_ = false;   // exit assignment observed this episode
   bool timeout_pending_ = false;  // between on_timeout and kRtoRecovery
+  bool backoff_check_pending_ = false;  // between on_timeout and next send
+  int pre_timeout_backoff_ = 0;
   bool exit_event_ = false;       // current ACK event exited recovery
   long exit_cwnd_pkts_ = 0;       // packets handed to cwnd at exit
   int new_sends_this_event_ = 0;

@@ -1,0 +1,189 @@
+#include "chaos/watchdog.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::chaos {
+
+namespace {
+
+// Cap on stored reports: a dead flow re-flags at most once per progress
+// epoch, but a pathological sender could still spam; tests only need a few.
+constexpr std::size_t kMaxReports = 256;
+
+}  // namespace
+
+const char* to_string(WatchdogReportId id) {
+  switch (id) {
+    case WatchdogReportId::kStall:
+      return "WD_STALL";
+    case WatchdogReportId::kLivelock:
+      return "WD_LIVELOCK";
+    case WatchdogReportId::kSilentDeath:
+      return "WD_SILENT_DEATH";
+    case WatchdogReportId::kCount:
+      break;
+  }
+  return "?";
+}
+
+LivenessWatchdog::LivenessWatchdog(sim::Simulator& sim, WatchdogConfig cfg,
+                                   FailMode mode)
+    : sim_{sim}, cfg_{cfg}, mode_{mode}, timer_{sim, [this] { tick(); }} {
+  RRTCP_ASSERT(cfg_.check_interval > sim::Time::zero());
+  RRTCP_ASSERT(cfg_.stall_rto_factor >= 1);
+  RRTCP_ASSERT(cfg_.livelock_rtx_threshold >= 1);
+}
+
+LivenessWatchdog::~LivenessWatchdog() {
+  for (auto& m : monitors_) m->detach();
+}
+
+void LivenessWatchdog::attach(tcp::TcpSenderBase& sender) {
+  monitors_.push_back(std::make_unique<Monitor>(*this, sender));
+  sender.add_observer(monitors_.back().get());
+  if (!armed_) {
+    armed_ = true;
+    timer_.schedule(cfg_.check_interval);
+  }
+}
+
+void LivenessWatchdog::disarm() {
+  armed_ = false;
+  timer_.cancel();
+}
+
+std::size_t LivenessWatchdog::count(WatchdogReportId id) const {
+  std::size_t n = 0;
+  for (const WatchdogReport& r : reports_)
+    if (r.id == id) ++n;
+  return n;
+}
+
+void LivenessWatchdog::tick() {
+  const sim::Time now = sim_.now();
+  bool any_live = false;
+  for (auto& m : monitors_) {
+    if (m->finished()) continue;
+    any_live = true;
+    m->check(now);
+  }
+  // Stop re-arming once every watched transfer finished, so a simulation
+  // driven by Simulator::run() can drain its event queue.
+  if (armed_ && any_live) timer_.schedule(cfg_.check_interval);
+}
+
+void LivenessWatchdog::report(WatchdogReportId id, const char* who,
+                              const char* fmt, ...) {
+  char detail[256];
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(detail, sizeof detail, fmt, ap);
+  va_end(ap);
+
+  const sim::Time now = sim_.now();
+  if (mode_ == FailMode::kAbort) {
+    char msg[384];
+    std::snprintf(msg, sizeof msg, "t=%.9fs sender=%s: %s", now.to_seconds(),
+                  who, detail);
+    RR_AUDIT_FAIL(to_string(id), msg);
+  }
+  if (reports_.size() < kMaxReports) reports_.push_back({id, now, who, detail});
+}
+
+// ---------------------------------------------------------------------------
+// Monitor
+
+LivenessWatchdog::Monitor::Monitor(LivenessWatchdog& wd,
+                                   tcp::TcpSenderBase& sender)
+    : wd_{wd},
+      sender_{sender},
+      last_activity_{wd.sim_.now()},
+      last_una_{sender.snd_una()} {}
+
+void LivenessWatchdog::Monitor::on_send(sim::Time now, std::uint64_t seq,
+                                        std::uint32_t /*len*/, bool rtx) {
+  last_activity_ = now;
+  if (!rtx || seq != sender_.snd_una()) return;
+
+  // Same-segment retransmission episode at the left window edge.
+  if (rtx_count_ > 0 && seq == rtx_seq_) {
+    ++rtx_count_;
+  } else {
+    rtx_seq_ = seq;
+    rtx_count_ = 1;
+    rtx_first_ = now;
+  }
+
+  // Healthy repetition is RTO-driven and therefore exponentially spaced:
+  // k timeout retransmissions span at least (2^k - 1) x min_rto. More than
+  // the threshold inside count x min_rto means the sender is spinning on
+  // dup ACKs (or equivalent) without backing off.
+  if (!flagged_livelock_ && rtx_count_ > wd_.cfg_.livelock_rtx_threshold &&
+      now - rtx_first_ <
+          sender_.config().min_rto * static_cast<std::int64_t>(rtx_count_)) {
+    flagged_livelock_ = true;
+    wd_.report(WatchdogReportId::kLivelock, sender_.variant_name(),
+               "seq=%llu retransmitted %d times in %.3fs without progress "
+               "(una=%llu)",
+               static_cast<unsigned long long>(seq), rtx_count_,
+               (now - rtx_first_).to_seconds(),
+               static_cast<unsigned long long>(sender_.snd_una()));
+  }
+}
+
+void LivenessWatchdog::Monitor::on_ack(sim::Time now, std::uint64_t /*ack*/,
+                                       bool /*dup*/) {
+  last_activity_ = now;
+}
+
+void LivenessWatchdog::Monitor::on_ack_processed(sim::Time /*now*/,
+                                                 std::uint64_t /*ack*/,
+                                                 bool /*dup*/) {
+  if (sender_.snd_una() != last_una_) {
+    // Forward progress: every episode and every flag resets.
+    last_una_ = sender_.snd_una();
+    rtx_count_ = 0;
+    flagged_stall_ = false;
+    flagged_livelock_ = false;
+    flagged_dead_ = false;
+  }
+}
+
+void LivenessWatchdog::Monitor::on_timeout(sim::Time now) {
+  last_activity_ = now;
+}
+
+void LivenessWatchdog::Monitor::check(sim::Time now) {
+  if (!sender_.started() || sender_.complete()) return;
+
+  const std::uint64_t una = sender_.snd_una();
+  const std::uint64_t max_sent = sender_.max_sent();
+
+  // Silent death: data outstanding but nothing armed that could ever act.
+  if (una < max_sent && !sender_.rto_pending() && !flagged_dead_) {
+    flagged_dead_ = true;
+    wd_.report(WatchdogReportId::kSilentDeath, sender_.variant_name(),
+               "una=%llu < max_sent=%llu with no RTO timer armed",
+               static_cast<unsigned long long>(una),
+               static_cast<unsigned long long>(max_sent));
+  }
+
+  // Stall: an incomplete transfer whose sender has gone quiet for several
+  // RTO spans. The RTO read is the sender's own (backed-off) value, so deep
+  // backoff legitimately buys long silences before this trips.
+  const sim::Time limit = sender_.rto_estimator().rto() *
+                          static_cast<std::int64_t>(wd_.cfg_.stall_rto_factor);
+  if (!flagged_stall_ && now - last_activity_ > limit) {
+    flagged_stall_ = true;
+    wd_.report(WatchdogReportId::kStall, sender_.variant_name(),
+               "no activity for %.3fs (> %d x rto=%.3fs), una=%llu",
+               (now - last_activity_).to_seconds(), wd_.cfg_.stall_rto_factor,
+               sender_.rto_estimator().rto().to_seconds(),
+               static_cast<unsigned long long>(una));
+  }
+}
+
+}  // namespace rrtcp::chaos

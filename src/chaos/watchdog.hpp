@@ -1,0 +1,146 @@
+// Liveness watchdog: detects flows that stop making progress.
+//
+// The invariant auditor (src/audit) checks that every observed event is
+// legal; it cannot complain about events that never happen. The watchdog
+// covers that blind spot. It attaches to senders exactly like the auditor
+// (a SenderObserver per flow) plus one periodic check timer, and flags
+// three failure shapes, each with a stable report ID:
+//
+//   WD_STALL        — no sender activity (send/ACK/timeout) for more than
+//                     stall_rto_factor x the current RTO while the transfer
+//                     is incomplete. A correct sender can always name the
+//                     next thing that will happen (an ACK or its own RTO),
+//                     so silence for several RTO spans means the recovery
+//                     machinery wedged. (Liu et al., "Optimizing TCP Loss
+//                     Recovery Performance Over Mobile Data Networks":
+//                     stalled loss recovery dominates mobile TCP latency.)
+//
+//   WD_LIVELOCK     — the same segment at snd_una retransmitted more than
+//                     livelock_rtx_threshold times while snd_una did not
+//                     advance, faster than exponential RTO backoff can
+//                     explain (elapsed < count x min_rto). Busy, but going
+//                     nowhere. (Diana & Lochin, "Relentless Congestion
+//                     Control": loss-tolerant senders must still bound
+//                     their retransmission aggressiveness.)
+//
+//   WD_SILENT_DEATH — data outstanding, transfer incomplete, and the
+//                     retransmission timer not armed at a periodic check.
+//                     Nothing is scheduled that could ever wake the flow:
+//                     it is dead, silently.
+//
+// Thresholds are deliberately conservative: a healthy sender under heavy
+// backoff retransmits the boundary segment spaced >= min_rto apart with
+// doubling gaps, which can never trip the livelock ratio, and always has
+// its timer pending, which excludes stall/silent-death false positives.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "sim/timer.hpp"
+#include "tcp/sender_base.hpp"
+#include "tcp/types.hpp"
+
+namespace rrtcp::chaos {
+
+enum class WatchdogReportId : std::uint8_t {
+  kStall,
+  kLivelock,
+  kSilentDeath,
+  kCount,
+};
+
+const char* to_string(WatchdogReportId id);
+
+struct WatchdogConfig {
+  // Period of the liveness sweep over all attached senders.
+  sim::Time check_interval = sim::Time::milliseconds(500);
+  // Stall = no activity for longer than this many current-RTO spans.
+  int stall_rto_factor = 4;
+  // Livelock = more than this many same-segment retransmissions without
+  // snd_una advancing, in less wall-clock than backoff allows.
+  int livelock_rtx_threshold = 8;
+};
+
+struct WatchdogReport {
+  WatchdogReportId id;
+  sim::Time t;
+  std::string who;     // sender variant name
+  std::string detail;
+};
+
+class LivenessWatchdog {
+ public:
+  enum class FailMode {
+    kAbort,   // print the report and abort (soak in CI)
+    kRecord,  // collect reports for inspection (tests, soak verdicts)
+  };
+
+  LivenessWatchdog(sim::Simulator& sim, WatchdogConfig cfg = {},
+                   FailMode mode = FailMode::kRecord);
+  ~LivenessWatchdog();
+  LivenessWatchdog(const LivenessWatchdog&) = delete;
+  LivenessWatchdog& operator=(const LivenessWatchdog&) = delete;
+
+  // Start watching `sender`. Observers are removed on destruction.
+  void attach(tcp::TcpSenderBase& sender);
+
+  // Stop the periodic sweep (e.g. to let Simulator::run() drain). Attached
+  // observers keep feeding event state; only the timer stops.
+  void disarm();
+
+  bool clean() const { return reports_.empty(); }
+  const std::vector<WatchdogReport>& reports() const { return reports_; }
+  std::size_t count(WatchdogReportId id) const;
+
+ private:
+  class Monitor final : public tcp::SenderObserver {
+   public:
+    Monitor(LivenessWatchdog& wd, tcp::TcpSenderBase& sender);
+
+    void on_send(sim::Time now, std::uint64_t seq, std::uint32_t len,
+                 bool rtx) override;
+    void on_ack(sim::Time now, std::uint64_t ack, bool dup) override;
+    void on_ack_processed(sim::Time now, std::uint64_t ack,
+                          bool dup) override;
+    void on_timeout(sim::Time now) override;
+
+    // Periodic sweep: stall + silent-death checks.
+    void check(sim::Time now);
+    bool finished() const { return sender_.complete(); }
+    void detach() { sender_.remove_observer(this); }
+
+   private:
+    LivenessWatchdog& wd_;
+    tcp::TcpSenderBase& sender_;
+    sim::Time last_activity_;
+    std::uint64_t last_una_ = 0;
+    // Same-segment retransmission episode (livelock detection).
+    std::uint64_t rtx_seq_ = 0;
+    int rtx_count_ = 0;
+    sim::Time rtx_first_ = sim::Time::zero();
+    // One report per shape per episode; all reset when snd_una advances.
+    bool flagged_stall_ = false;
+    bool flagged_livelock_ = false;
+    bool flagged_dead_ = false;
+  };
+
+  void tick();
+  [[gnu::format(printf, 4, 5)]] void report(WatchdogReportId id,
+                                            const char* who, const char* fmt,
+                                            ...);
+
+  sim::Simulator& sim_;
+  WatchdogConfig cfg_;
+  FailMode mode_;
+  sim::Timer timer_;
+  bool armed_ = false;
+  std::vector<std::unique_ptr<Monitor>> monitors_;
+  std::vector<WatchdogReport> reports_;
+};
+
+}  // namespace rrtcp::chaos

@@ -1,0 +1,155 @@
+#include "harness/chaos_sweep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "app/ftp.hpp"
+#include "net/drop_tail.hpp"
+#include "net/dumbbell.hpp"
+#include "sim/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace rrtcp::harness {
+
+ChaosRunOutcome run_chaos_schedule(const chaos::FaultPlan& plan,
+                                   std::uint64_t seed,
+                                   const ChaosRunConfig& cfg,
+                                   std::vector<chaos::WatchdogReport>* reports,
+                                   std::vector<audit::Violation>* violations) {
+  RRTCP_ASSERT(cfg.n_flows >= 1);
+  sim::Simulator sim;
+
+  net::DumbbellConfig netcfg;
+  netcfg.n_flows = cfg.n_flows;
+  netcfg.make_bottleneck_queue = [&cfg] {
+    return std::make_unique<net::DropTailQueue>(cfg.buffer_packets);
+  };
+  net::DumbbellTopology topo{sim, netcfg};
+
+  // Interpose one injector per direction; each applies its path's subset
+  // of the plan. Both draw from the same plan seed via distinct stream
+  // names, so the pair replays from the single printed number.
+  chaos::FaultInjector fwd_injector{sim, topo.bottleneck(),
+                                    plan.subset(chaos::FaultPath::kData), seed,
+                                    "chaos-fwd"};
+  chaos::FaultInjector rev_injector{sim, topo.reverse_bottleneck(),
+                                    plan.subset(chaos::FaultPath::kAck), seed,
+                                    "chaos-rev"};
+  chaos::interpose(topo.r1(), topo.bottleneck(), fwd_injector);
+  chaos::interpose(topo.r2(), topo.reverse_bottleneck(), rev_injector);
+
+  std::vector<app::Flow> flows;
+  flows.reserve(static_cast<std::size_t>(cfg.n_flows));
+  for (int i = 0; i < cfg.n_flows; ++i) {
+    const auto id = static_cast<net::FlowId>(i + 1);
+    flows.push_back(cfg.flow_maker
+                        ? cfg.flow_maker(sim, topo.sender_node(i),
+                                         topo.receiver_node(i), id, cfg.tcp)
+                        : app::make_flow(cfg.variant, sim, topo.sender_node(i),
+                                         topo.receiver_node(i), id, cfg.tcp));
+  }
+
+  std::vector<app::FtpSource> sources;
+  sources.reserve(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    sources.emplace_back(sim, *flows[i].sender,
+                         cfg.start_stagger * static_cast<std::int64_t>(i),
+                         cfg.bytes_per_flow);
+  }
+
+  // Audit + watchdog attach AFTER the flows so they detach first on the
+  // way out (observer lifetime, same pattern as the scenario runner).
+  // kRecord mode: the soak inspects counts in every build configuration.
+  audit::AuditSession audit{sim, audit::AuditSession::FailMode::kRecord};
+  audit.attach_topology(topo);
+  for (app::Flow& f : flows) audit.attach(*f.sender, f.receiver.get());
+
+  chaos::LivenessWatchdog watchdog{sim, cfg.watchdog,
+                                   chaos::LivenessWatchdog::FailMode::kRecord};
+  for (app::Flow& f : flows) watchdog.attach(*f.sender);
+
+  sim.run_until(cfg.horizon);
+
+  ChaosRunOutcome out;
+  for (app::Flow& f : flows) {
+    const tcp::TcpSenderBase& s = *f.sender;
+    if (s.complete()) {
+      ++out.flows_complete;
+      out.last_completion = std::max(out.last_completion, s.completion_time());
+    } else if (s.rto_pending()) {
+      ++out.flows_alive;  // the escape hatch will fire; recovery continues
+    } else {
+      ++out.flows_dead;
+    }
+    out.timeouts += s.stats().timeouts;
+    out.retransmissions += s.stats().retransmissions;
+  }
+  out.fault_drops = fwd_injector.dropped() + rev_injector.dropped();
+  out.fault_duplicates = fwd_injector.duplicated() + rev_injector.duplicated();
+  out.fault_delays = fwd_injector.delayed() + rev_injector.delayed();
+  out.audit_violations = audit.total_violations();
+  out.watchdog_reports = watchdog.reports().size();
+  out.graceful = out.flows_dead == 0 && out.audit_violations == 0 &&
+                 out.watchdog_reports == 0;
+
+  if (reports != nullptr) *reports = watchdog.reports();
+  if (violations != nullptr) *violations = audit.violations();
+  return out;
+}
+
+std::vector<ScenarioSpec> make_chaos_jobs(const ChaosSoakOptions& opts,
+                                          std::uint64_t base_seed) {
+  RRTCP_ASSERT(opts.n_schedules >= 1);
+  RRTCP_ASSERT(!opts.variants.empty());
+  std::vector<ScenarioSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(opts.n_schedules) *
+               opts.variants.size());
+  for (int sched = 0; sched < opts.n_schedules; ++sched) {
+    // Plan seed keyed by schedule index: every variant of schedule `sched`
+    // replays the byte-identical fault sequence (differential soak).
+    const std::uint64_t plan_seed =
+        derive_seed(base_seed, static_cast<std::uint64_t>(sched));
+    for (const app::Variant v : opts.variants) {
+      char id[64];
+      std::snprintf(id, sizeof id, "chaos/%03d/%s", sched, app::to_string(v));
+      ScenarioSpec spec;
+      spec.id = id;
+      spec.run = [opts, sched, plan_seed, v](const JobContext&) {
+        const chaos::FaultPlan plan =
+            chaos::make_random_plan(plan_seed, opts.bounds);
+        ChaosRunConfig cfg = opts.base;
+        cfg.variant = v;
+        const ChaosRunOutcome out = run_chaos_schedule(plan, plan_seed, cfg);
+        Record row;
+        row.set("schedule", sched);
+        row.set("variant", app::to_string(v));
+        char seed_hex[24];
+        std::snprintf(seed_hex, sizeof seed_hex, "0x%016llx",
+                      static_cast<unsigned long long>(plan_seed));
+        row.set("plan_seed", seed_hex);
+        row.set("n_faults", static_cast<int>(plan.faults.size()));
+        row.set("plan", plan.describe());
+        row.set("complete", out.flows_complete);
+        row.set("alive", out.flows_alive);
+        row.set("dead", out.flows_dead);
+        row.set("timeouts", out.timeouts);
+        row.set("rtx", out.retransmissions);
+        row.set("fault_drops", out.fault_drops);
+        row.set("fault_dups", out.fault_duplicates);
+        row.set("fault_delays", out.fault_delays);
+        row.set("audit_violations", out.audit_violations);
+        row.set("watchdog_reports", out.watchdog_reports);
+        row.set("last_completion_s", out.last_completion.to_seconds());
+        row.set("graceful", out.graceful);
+        return row;
+      };
+      jobs.push_back(std::move(spec));
+    }
+  }
+  return jobs;
+}
+
+}  // namespace rrtcp::harness

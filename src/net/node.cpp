@@ -26,4 +26,19 @@ void Node::receive(Packet p) {
   out->send(std::move(p));
 }
 
+int Node::replace_route_target(PacketHandler* from, PacketHandler* to) {
+  int replaced = 0;
+  for (auto& [dst, handler] : routes_) {
+    if (handler == from) {
+      handler = to;
+      ++replaced;
+    }
+  }
+  if (default_route_ == from) {
+    default_route_ = to;
+    ++replaced;
+  }
+  return replaced;
+}
+
 }  // namespace rrtcp::net

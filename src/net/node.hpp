@@ -44,6 +44,13 @@ class Node {
   void add_route(NodeId dst, PacketHandler* link) { routes_[dst] = link; }
   void set_default_route(PacketHandler* link) { default_route_ = link; }
 
+  // Swap every route (and the default) currently pointing at `from` to
+  // point at `to` instead. This is how wrappers interpose on an existing
+  // topology — e.g. the chaos fault injector (src/chaos/fault.hpp) slides
+  // itself between a gateway and its bottleneck link without the topology
+  // knowing. Returns the number of entries rewritten.
+  int replace_route_target(PacketHandler* from, PacketHandler* to);
+
   // Packet arriving at this node (from a link, or injected by a local
   // agent). Locally-addressed packets go to the matching agent; everything
   // else is forwarded. Packets with no agent/route are counted and dropped.

@@ -65,7 +65,11 @@ sim::Time RtoEstimator::rto() const {
 }
 
 void RtoEstimator::backoff() {
-  if (backoff_ < 62) ++backoff_;  // avoid useless shifting past max_rto
+  // Saturate: once the backed-off value already pins at max_rto, further
+  // doublings cannot change rto() and would only inflate backoff_count —
+  // making the reset after a successful sample() meaningless and, in the
+  // pathological many-timeout case, eventually overflowing the counter.
+  if (rto() < max_rto_) ++backoff_;
 }
 
 }  // namespace rrtcp::tcp

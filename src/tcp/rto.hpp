@@ -21,7 +21,10 @@ class RtoEstimator {
   // timer granularity and clamped to [min_rto, max_rto].
   sim::Time rto() const;
 
-  // Double the timeout (called on each retransmission timeout).
+  // Double the timeout (called on each retransmission timeout). Saturating:
+  // once rto() is pinned at max_rto, further calls leave backoff_count()
+  // unchanged, so the counter reflects doublings that had an effect and a
+  // later sample() reset recovers the pre-backoff timeout exactly.
   void backoff();
 
   bool has_samples() const { return has_sample_; }

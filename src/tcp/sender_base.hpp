@@ -75,6 +75,16 @@ class TcpSenderBase : public net::Agent {
   // over-estimates the pipe during recovery).
   std::uint64_t flight_bytes() const { return snd_nxt_ - snd_una_; }
 
+  // ---- Liveness introspection ------------------------------------------
+  // The retransmission timer is the sender's last-resort escape hatch: a
+  // correct sender keeps it armed whenever data is outstanding. The chaos
+  // watchdog (src/chaos/watchdog.hpp) and the liveness audit invariants
+  // read this surface; nothing here grants control over the timer.
+  const RtoEstimator& rto_estimator() const { return rto_; }
+  bool rto_pending() const { return rto_timer_.pending(); }
+  // Absolute expiry of the armed timer; meaningful only while pending().
+  sim::Time rto_expiry() const { return rto_timer_.expiry(); }
+
   void add_observer(SenderObserver* obs) { observers_.push_back(obs); }
   void remove_observer(SenderObserver* obs) {
     std::erase(observers_, obs);

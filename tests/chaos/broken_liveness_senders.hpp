@@ -1,0 +1,50 @@
+// Test-only liveness mutants: each breaks exactly one of the guarantees
+// the chaos watchdog (and the audit layer's liveness invariants) exist to
+// enforce. tests/chaos/test_watchdog.cpp and test_chaos_soak.cpp assert
+// that every one is caught by its SPECIFIC report/invariant ID while the
+// healthy senders stay spotless through the same journeys — the proof the
+// watchdog has teeth.
+#pragma once
+
+#include "core/rr_sender.hpp"
+
+namespace rrtcp::test {
+
+// Bug: never re-arms the retransmission timer — after every processed ACK
+// the escape hatch is disarmed. The first time the network eats the rest
+// of a window, nothing is scheduled that could ever wake the flow.
+// Expected catch: WD_SILENT_DEATH (watchdog) and RTO_ARMED (audit).
+class DeadRtoSender : public core::RrSender {
+ public:
+  using core::RrSender::RrSender;
+  const char* variant_name() const override { return "dead-rto"; }
+
+ protected:
+  void handle_new_ack(const net::TcpHeader& h,
+                      std::uint64_t newly_acked) override {
+    core::RrSender::handle_new_ack(h, newly_acked);
+    stop_rto_timer();
+  }
+  void handle_dup_ack(const net::TcpHeader& h) override {
+    core::RrSender::handle_dup_ack(h);
+    stop_rto_timer();
+  }
+};
+
+// Bug: retransmits the segment at snd_una on EVERY duplicate ACK, with no
+// exponential spacing — busy, but going nowhere while the hole persists.
+// Expected catch: WD_LIVELOCK (same-segment retransmissions faster than
+// backoff can explain).
+class LivelockRtxSender : public core::RrSender {
+ public:
+  using core::RrSender::RrSender;
+  const char* variant_name() const override { return "livelock-rtx"; }
+
+ protected:
+  void handle_dup_ack(const net::TcpHeader& h) override {
+    core::RrSender::handle_dup_ack(h);
+    if (snd_una() < max_sent()) retransmit(snd_una());
+  }
+};
+
+}  // namespace rrtcp::test

@@ -1,0 +1,115 @@
+// Liveness watchdog teeth tests: each broken sender from
+// broken_liveness_senders.hpp is caught by its SPECIFIC WatchdogReportId
+// (and, where applicable, the audit layer's liveness invariant), while the
+// healthy RR sender driven through the same journeys — dup ACK storms,
+// repeated RTO backoff, full recovery episodes — never produces a report.
+#include "chaos/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "audit/invariant_auditor.hpp"
+#include "broken_liveness_senders.hpp"
+#include "core/rr_sender.hpp"
+
+namespace rrtcp::chaos {
+namespace {
+
+using sim::Time;
+using test::SenderHarness;
+
+tcp::TcpConfig cwnd(std::uint64_t pkts) {
+  tcp::TcpConfig cfg;
+  cfg.init_cwnd_pkts = pkts;
+  return cfg;
+}
+
+template <typename SenderT>
+struct WatchedHarness {
+  explicit WatchedHarness(tcp::TcpConfig cfg = cwnd(10))
+      : h{cfg}, wd{h.sim, WatchdogConfig{},
+                   LivenessWatchdog::FailMode::kRecord} {
+    wd.attach(h.sender());
+  }
+  SenderHarness<SenderT> h;
+  LivenessWatchdog wd;
+};
+
+// ---- Broken senders are caught, by the right ID. ------------------------
+
+TEST(Watchdog, DeadRtoSenderFlaggedSilentDeath) {
+  WatchedHarness<test::DeadRtoSender> w;
+  w.h.sender().start();
+  w.h.ack(1000);  // mutant disarms its timer with data still outstanding
+  EXPECT_FALSE(w.h.sender().rto_pending());
+  w.h.sim.run_until(Time::seconds(3));
+  EXPECT_GE(w.wd.count(WatchdogReportId::kSilentDeath), 1u);
+  EXPECT_EQ(w.wd.count(WatchdogReportId::kLivelock), 0u);
+}
+
+TEST(Watchdog, DeadRtoSenderAlsoTripsAuditRtoArmed) {
+  SenderHarness<test::DeadRtoSender> h{cwnd(10)};
+  audit::AuditSession session{h.sim, audit::AuditSession::FailMode::kRecord};
+  session.attach(h.sender());
+  h.sender().start();
+  h.ack(1000);  // audit checks liveness synchronously after each ACK
+  EXPECT_GE(session.count(audit::InvariantId::kRtoArmed), 1u);
+}
+
+TEST(Watchdog, LivelockSenderFlaggedLivelock) {
+  WatchedHarness<test::LivelockRtxSender> w;
+  w.h.sender().start();
+  w.h.dupacks(12);  // 12 same-segment retransmissions in zero elapsed time
+  EXPECT_GE(w.wd.count(WatchdogReportId::kLivelock), 1u);
+  EXPECT_EQ(w.wd.count(WatchdogReportId::kSilentDeath), 0u);
+}
+
+// ---- Healthy control: the same journeys produce zero reports. -----------
+
+TEST(Watchdog, HealthyDupAckStormIsClean) {
+  WatchedHarness<core::RrSender> w;
+  w.h.sender().start();
+  w.h.dupacks(12);  // entry rtx + at most one rescue: far below threshold
+  w.h.ack(10'000);
+  EXPECT_TRUE(w.wd.clean());
+}
+
+TEST(Watchdog, HealthyRtoBackoffGrindIsClean) {
+  WatchedHarness<core::RrSender> w;
+  w.h.sender().start();
+  // Total ACK loss: the sender grinds through exponentially backed-off
+  // timeouts. Same segment, many retransmissions — but spaced as backoff
+  // demands, so neither livelock nor stall nor silent death may fire.
+  w.h.sim.run_until(Time::seconds(60));
+  EXPECT_GT(w.h.sender().stats().timeouts, 2u);
+  EXPECT_TRUE(w.wd.clean());
+}
+
+TEST(Watchdog, HealthyCompletedTransferIsClean) {
+  WatchedHarness<core::RrSender> w;
+  w.h.sender().set_app_bytes(10'000);
+  w.h.sender().start();
+  w.h.ack(10'000);
+  EXPECT_TRUE(w.h.sender().complete());
+  w.h.sim.run_until(Time::seconds(5));  // ticks observe a finished flow
+  EXPECT_TRUE(w.wd.clean());
+}
+
+// Regression for the RTO_BACKOFF invariant: when srtt is small the
+// backed-off RTO can stay pinned at the min_rto floor (250 ms doubled is
+// still below a 1 s floor), which must NOT read as "backoff skipped".
+TEST(Watchdog, HealthyBackoffAtMinRtoFloorPassesAudit) {
+  SenderHarness<core::RrSender> h{cwnd(10)};
+  audit::AuditSession session{h.sim, audit::AuditSession::FailMode::kRecord};
+  session.attach(h.sender());
+  h.sender().start();
+  h.sim.schedule_at(Time::milliseconds(10),
+                    [&h] { h.ack(1000); });  // srtt ~10 ms, rto floors at 1 s
+  h.sim.run_until(Time::seconds(10));        // several timeouts at the floor
+  EXPECT_GT(h.sender().stats().timeouts, 2u);
+  EXPECT_EQ(session.count(audit::InvariantId::kRtoBackoff), 0u);
+  EXPECT_EQ(session.count(audit::InvariantId::kRtoArmed), 0u);
+}
+
+}  // namespace
+}  // namespace rrtcp::chaos

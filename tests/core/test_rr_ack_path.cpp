@@ -1,0 +1,120 @@
+// ACK-path robustness for Robust Recovery: the feedback channel itself is
+// unreliable — ACKs get lost, duplicated, and reordered — and the state
+// machine must come out of every mangled episode with the paper's exit
+// property intact (cwnd = actnum x MSS) and zero invariant violations.
+// Every scenario runs with a recording AuditSession attached, so the
+// checks of src/audit watch the whole journey.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "audit/invariant_auditor.hpp"
+#include "core/rr_sender.hpp"
+
+namespace rrtcp::core {
+namespace {
+
+using sim::Time;
+using test::SenderHarness;
+
+tcp::TcpConfig cwnd(std::uint64_t pkts) {
+  tcp::TcpConfig cfg;
+  cfg.init_cwnd_pkts = pkts;
+  return cfg;
+}
+
+// Window of 10 packets in flight, audit armed from the first segment.
+struct AckPathFixture : ::testing::Test {
+  AckPathFixture()
+      : h{cwnd(10)},
+        session{h.sim, audit::AuditSession::FailMode::kRecord} {
+    session.attach(h.sender());
+    h.sender().start();
+    EXPECT_EQ(h.wire.data().size(), 10u);
+  }
+  SenderHarness<RrSender> h;
+  audit::AuditSession session;
+};
+
+TEST_F(AckPathFixture, DuplicatedCumulativeAckIsIdempotent) {
+  h.dupacks(3);   // entry
+  h.dupacks(4);   // retreat: 2 new packets
+  h.ack(4000);    // probe, actnum 2
+  const long actnum = h.sender().actnum();
+  h.wire.clear();
+  h.ack(4000);  // the network re-delivers the partial ACK: now a dup ACK
+  // One more dup ACK of the probe RTT: exactly one self-clocked packet,
+  // no state regression.
+  EXPECT_TRUE(h.sender().in_probe());
+  EXPECT_EQ(h.sender().actnum(), actnum);
+  EXPECT_EQ(h.sender().ndup(), 1);
+  EXPECT_TRUE(session.clean()) << session.violations().size() << " violations";
+}
+
+TEST_F(AckPathFixture, ReorderedStaleAckIsIgnored) {
+  h.dupacks(3);
+  h.ack(4000);  // una = 4000
+  h.wire.clear();
+  h.ack(2000);  // older ACK arrives late, out of order
+  EXPECT_EQ(h.sender().snd_una(), 4000u);  // no regression
+  EXPECT_TRUE(h.wire.packets.empty());     // and no transmission either
+  EXPECT_TRUE(session.clean());
+}
+
+TEST_F(AckPathFixture, LostPartialAckDuringProbeIsAbsorbedByTheNext) {
+  h.dupacks(3);  // holes at 0 and 4000
+  h.dupacks(4);  // retreat: 2 new packets
+  h.ack(4000);   // probe, actnum 2, rtx 4000
+  h.dupacks(2);  // both retreat packets arrived
+  // The partial ACK for 8000 is LOST in the reverse path. The rtx of the
+  // next hole never happens off that ACK — but the following cumulative
+  // ACK (receiver keeps ACKing as data lands) covers the same ground.
+  h.ack(9000);  // skips the lost boundary, still < recover (10'000)
+  EXPECT_TRUE(h.sender().in_recovery());
+  EXPECT_EQ(h.sender().snd_una(), 9000u);
+  h.dupacks(3);
+  h.ack(14'000);  // beyond recover: exit
+  EXPECT_FALSE(h.sender().in_recovery());
+  EXPECT_TRUE(session.clean()) << session.violations().size() << " violations";
+}
+
+TEST_F(AckPathFixture, ExitCwndIsActnumTimesMssAfterMangledAcks) {
+  h.dupacks(3);
+  h.dupacks(4);   // retreat: 2 new packets
+  h.ack(4000);    // probe, actnum 2
+  h.ack(4000);    // duplicated partial ACK (re-delivered)
+  h.dupacks(1);   // plus a genuine dup ACK
+  h.ack(8000);    // clean boundary
+  h.dupacks(3);
+  const long actnum = h.sender().actnum();
+  h.ack(14'000);  // exit
+  EXPECT_FALSE(h.sender().in_recovery());
+  EXPECT_EQ(h.sender().cwnd_bytes(),
+            static_cast<std::uint64_t>(actnum) * h.sender().config().mss);
+  EXPECT_TRUE(session.clean()) << session.violations().size() << " violations";
+}
+
+TEST_F(AckPathFixture, TotalAckLossFallsBackToRtoRecovery) {
+  h.dupacks(3);  // in recovery, and then the ACK channel dies entirely
+  h.sim.run_until(Time::seconds(20));  // nothing arrives; RTO must fire
+  EXPECT_GE(h.sender().stats().timeouts, 1u);
+  EXPECT_EQ(h.sender().cwnd_bytes(), h.sender().config().mss);
+  EXPECT_FALSE(h.sender().in_recovery());  // timeout cleans RR state
+  EXPECT_EQ(h.sender().phase(), tcp::TcpPhase::kRtoRecovery);
+  EXPECT_TRUE(h.sender().rto_pending());  // escape hatch re-armed
+  EXPECT_TRUE(session.clean()) << session.violations().size() << " violations";
+}
+
+TEST_F(AckPathFixture, DupAcksWhileInRtoRecoveryDoNotDerail) {
+  h.dupacks(3);
+  h.sim.run_until(Time::seconds(5));  // first timeout fired
+  ASSERT_GE(h.sender().stats().timeouts, 1u);
+  // Stragglers from the pre-timeout window arrive as dup ACKs.
+  h.dupacks(4);
+  EXPECT_TRUE(h.sender().rto_pending());
+  h.ack(10'000);  // cumulative ACK finally covers everything outstanding
+  EXPECT_EQ(h.sender().snd_una(), 10'000u);
+  EXPECT_TRUE(session.clean()) << session.violations().size() << " violations";
+}
+
+}  // namespace
+}  // namespace rrtcp::core

@@ -1,0 +1,73 @@
+// Backoff saturation behavior of the RTO estimator (the liveness hardening
+// that keeps a flow's escape hatch meaningful through arbitrarily long
+// fault windows): backoff() pins at max_rto without inflating the counter,
+// and a successful sample() fully resets both the counter and the timeout.
+#include <gtest/gtest.h>
+
+#include "tcp/rto.hpp"
+
+namespace rrtcp::tcp {
+namespace {
+
+using sim::Time;
+
+TcpConfig fine_cfg() {
+  TcpConfig cfg;
+  cfg.min_rto = Time::milliseconds(1);
+  cfg.max_rto = Time::seconds(64);
+  cfg.rto_granularity = Time::zero();
+  return cfg;
+}
+
+TEST(RtoBackoff, SaturationPinsTheCounter) {
+  RtoEstimator e{fine_cfg()};
+  e.sample(Time::seconds(1));  // rto = 3 s; doublings: 6, 12, 24, 48, 96^
+  int pinned = -1;
+  for (int i = 0; i < 10'000; ++i) {
+    e.backoff();
+    if (e.rto() == Time::seconds(64) && pinned < 0) pinned = e.backoff_count();
+  }
+  ASSERT_GE(pinned, 0);
+  EXPECT_EQ(e.rto(), Time::seconds(64));
+  // Once pinned, further calls are no-ops: the counter never ran past the
+  // first saturating doubling, no matter how many timeouts fired.
+  EXPECT_EQ(e.backoff_count(), pinned);
+  EXPECT_LT(e.backoff_count(), 10);
+}
+
+TEST(RtoBackoff, CounterCannotOverflowUnderEndlessTimeouts) {
+  TcpConfig cfg;  // defaults: coarse timers, initial_rto before any sample
+  RtoEstimator e{cfg};
+  for (int i = 0; i < 1'000'000; ++i) e.backoff();
+  EXPECT_EQ(e.rto(), cfg.max_rto);
+  EXPECT_LT(e.backoff_count(), 64);  // bounded, nowhere near overflow
+}
+
+TEST(RtoBackoff, SampleAfterSaturationFullyResets) {
+  RtoEstimator e{fine_cfg()};
+  e.sample(Time::seconds(1));
+  for (int i = 0; i < 100; ++i) e.backoff();
+  ASSERT_EQ(e.rto(), Time::seconds(64));
+  e.sample(Time::seconds(1));
+  EXPECT_EQ(e.backoff_count(), 0);
+  // The timeout recovers to the sane sampled range, not a stale doubling.
+  EXPECT_LT(e.rto(), Time::seconds(8));
+  EXPECT_GT(e.rto(), Time::zero());
+}
+
+TEST(RtoBackoff, MinRtoFloorCanMaskEarlyDoublings) {
+  // With a tiny srtt the raw timeout sits far below the floor: the first
+  // few backoffs change the counter but not rto(). Liveness checks must
+  // read backoff_count(), not rto(), to see that backoff happened — this
+  // pins the behavior the audit's RTO_BACKOFF invariant depends on.
+  TcpConfig cfg;  // min_rto = 1 s
+  RtoEstimator e{cfg};
+  e.sample(Time::milliseconds(10));
+  ASSERT_EQ(e.rto(), cfg.min_rto);
+  e.backoff();
+  EXPECT_EQ(e.backoff_count(), 1);
+  EXPECT_EQ(e.rto(), cfg.min_rto);  // still floored — and that is correct
+}
+
+}  // namespace
+}  // namespace rrtcp::tcp
