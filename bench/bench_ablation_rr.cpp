@@ -26,35 +26,30 @@ struct Out {
 Out run(bool ordering, bool budget, bool rescue,
         const std::function<std::unique_ptr<net::LossModel>()>& loss,
         double ack_loss = 0.0) {
-  sim::Simulator sim;
-  net::DumbbellConfig netcfg;
-  netcfg.n_flows = 1;
-  netcfg.make_bottleneck_queue = [] {
-    return std::make_unique<net::DropTailQueue>(100);
-  };
-  net::DumbbellTopology topo{sim, netcfg};
-  topo.bottleneck().set_loss_model(loss());
-  if (ack_loss > 0.0)
-    topo.reverse_bottleneck().set_loss_model(
-        std::make_unique<net::UniformLossModel>(ack_loss, 77,
-                                                /*data_only=*/false));
-
   tcp::TcpConfig tcfg;
   tcfg.rr_probe_packet_first = ordering;
   tcfg.rr_budget_rtx = budget;
   tcfg.rr_rescue_rtx = rescue;
-  auto f = make_instrumented_flow(app::Variant::kRr, sim, topo, 0,
-                                  sim::Time::zero(), 100'000, tcfg);
-  audit::ScopedAudit audit{sim};
-  audit.attach_topology(topo);
-  audit_flow(audit, f);
-  sim.run_until(sim::Time::seconds(120));
+
+  harness::ScenarioSpec spec;
+  spec.name = "ablation_rr";
+  spec.bottleneck = harness::QueueSpec::drop_tail(100);
+  spec.horizon = sim::Time::seconds(120);
+  spec.add_flow(
+      {.variant = app::Variant::kRr, .bytes = 100'000, .tcp = tcfg});
+  harness::Scenario sc{spec};
+  sc.topology().bottleneck().set_loss_model(loss());
+  if (ack_loss > 0.0)
+    sc.topology().reverse_bottleneck().set_loss_model(
+        std::make_unique<net::UniformLossModel>(ack_loss, 77,
+                                                /*data_only=*/false));
+  sc.run();
 
   Out o{};
-  o.completion_s = f.flow.sender->completion_time().to_seconds();
-  o.rtx = f.flow.sender->stats().retransmissions;
-  o.timeouts = f.flow.sender->stats().timeouts;
-  o.spurious = f.flow.receiver->stats().duplicates;
+  o.completion_s = sc.sender(0).completion_time().to_seconds();
+  o.rtx = sc.sender(0).stats().retransmissions;
+  o.timeouts = sc.sender(0).stats().timeouts;
+  o.spurious = sc.flow(0).receiver->stats().duplicates;
   return o;
 }
 
@@ -124,7 +119,7 @@ int main(int argc, char** argv) {
   };
 
   const auto grid = knob_grid();
-  std::vector<rrtcp::harness::ScenarioSpec> jobs;
+  std::vector<rrtcp::harness::SweepJob> jobs;
   std::vector<Out> outs(std::size(workloads) * grid.size());
   for (const Workload& w : workloads) {
     for (const Knobs& k : grid) {

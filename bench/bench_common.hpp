@@ -1,6 +1,11 @@
 // Shared helpers for the experiment-reproduction harnesses in bench/.
 // Each binary regenerates one table or figure of the paper (see
 // EXPERIMENTS.md for the index and the expected shapes).
+//
+// Scenario construction is declarative: describe the experiment as a
+// harness::ScenarioSpec (topology + bottleneck queue + flows + seed) and
+// let harness::Scenario build and instrument it — see
+// src/harness/scenario.hpp.
 #pragma once
 
 #include <cstdio>
@@ -8,52 +13,13 @@
 #include <optional>
 #include <vector>
 
-#include "app/flow_factory.hpp"
-#include "app/ftp.hpp"
-#include "audit/audit.hpp"
+#include "harness/scenario.hpp"
 #include "harness/sweep.hpp"
 #include "net/drop_tail.hpp"
-#include "net/dumbbell.hpp"
 #include "net/red.hpp"
-#include "sim/simulator.hpp"
 #include "stats/table.hpp"
-#include "stats/throughput.hpp"
-#include "stats/tracer.hpp"
 
 namespace rrtcp::bench {
-
-// One flow bundle with its instrumentation attached.
-struct InstrumentedFlow {
-  app::Flow flow;
-  std::unique_ptr<stats::ThroughputMeter> meter;
-  std::unique_ptr<stats::SeqTracer> seq;
-  std::unique_ptr<stats::PhaseTracer> phases;
-  std::unique_ptr<app::FtpSource> source;
-};
-
-inline InstrumentedFlow make_instrumented_flow(
-    app::Variant v, sim::Simulator& sim, net::DumbbellTopology& topo, int i,
-    sim::Time start, std::optional<std::uint64_t> bytes,
-    tcp::TcpConfig cfg = {}) {
-  InstrumentedFlow f;
-  f.flow = app::make_flow(v, sim, topo.sender_node(i), topo.receiver_node(i),
-                          static_cast<net::FlowId>(i + 1), cfg);
-  f.meter = std::make_unique<stats::ThroughputMeter>();
-  f.seq = std::make_unique<stats::SeqTracer>(cfg.mss);
-  f.phases = std::make_unique<stats::PhaseTracer>();
-  f.flow.sender->add_observer(f.meter.get());
-  f.flow.sender->add_observer(f.seq.get());
-  f.flow.sender->add_observer(f.phases.get());
-  f.source = std::make_unique<app::FtpSource>(sim, *f.flow.sender, start, bytes);
-  return f;
-}
-
-// Attach the build-gated invariant auditor to one instrumented flow
-// (sender + peer receiver, enabling the cross-layer pipe checks). A no-op
-// unless the build sets RRTCP_AUDIT=ON — see src/audit/audit.hpp.
-inline void audit_flow(audit::ScopedAudit& a, InstrumentedFlow& f) {
-  a.attach(*f.flow.sender, f.flow.receiver.get());
-}
 
 inline void print_header(const char* title, const char* paper_ref) {
   std::printf("\n================================================================\n");

@@ -39,22 +39,6 @@ harness::Record to_record(app::Variant v, int burst, const Row& r) {
 }
 
 Row run_one(app::Variant v, int burst) {
-  sim::Simulator sim;
-  net::DumbbellConfig netcfg;  // Table 3 values are the defaults
-  netcfg.n_flows = 1;
-  netcfg.make_bottleneck_queue = [] {
-    // Large enough that the only drops are the injected pattern.
-    return std::make_unique<net::DropTailQueue>(100);
-  };
-  net::DumbbellTopology topo{sim, netcfg};
-
-  // The k-burst: packets 30..30+k-1 of flow 1 vanish at R1.
-  std::vector<std::pair<net::FlowId, std::uint64_t>> losses;
-  for (int i = 0; i < burst; ++i)
-    losses.push_back({1, static_cast<std::uint64_t>(30 + i) * 1000});
-  topo.bottleneck().set_loss_model(
-      std::make_unique<net::ListLossModel>(losses));
-
   // The paper's first connection has "a limited amount of data": 100 kB.
   // ssthresh 10: slow start hands over to congestion avoidance around 10
   // packets, so the burst lands in a ~12-16 packet window — the regime of
@@ -63,19 +47,29 @@ Row run_one(app::Variant v, int burst) {
   // window and soften every variant's recovery problem.
   tcp::TcpConfig tcfg;
   tcfg.init_ssthresh_pkts = 10;
-  auto f = make_instrumented_flow(v, sim, topo, 0, sim::Time::zero(),
-                                  100'000, tcfg);
+
+  harness::ScenarioSpec spec;  // Table 3 topology values are the defaults
+  spec.name = std::string{"fig5/"} + app::to_string(v);
+  // Large enough that the only drops are the injected pattern.
+  spec.bottleneck = harness::QueueSpec::drop_tail(100);
+  spec.add_flow({.variant = v, .bytes = 100'000, .tcp = tcfg});
+  harness::Scenario sc{spec};
+
+  // The k-burst: packets 30..30+k-1 of flow 1 vanish at R1.
+  std::vector<std::pair<net::FlowId, std::uint64_t>> losses;
+  for (int i = 0; i < burst; ++i)
+    losses.push_back({1, static_cast<std::uint64_t>(30 + i) * 1000});
+  sc.topology().bottleneck().set_loss_model(
+      std::make_unique<net::ListLossModel>(losses));
+
   // Receiver-side goodput samples: (time, unique bytes received). The
   // paper's metric credits new data *delivered* during recovery even
   // though the cumulative ACK only covers it at the end — this is exactly
   // the utilization RR is designed to preserve.
   std::vector<std::pair<sim::Time, std::uint64_t>> delivered;
-  f.flow.receiver->set_progress_callback(
+  sc.flow(0).receiver->set_progress_callback(
       [&](sim::Time t, std::uint64_t bytes) { delivered.emplace_back(t, bytes); });
-  audit::ScopedAudit audit{sim};
-  audit.attach_topology(topo);
-  audit_flow(audit, f);
-  sim.run_until(sim::Time::seconds(60));
+  sc.run();
 
   Row r{};
   r.name = app::to_string(v);
@@ -85,14 +79,14 @@ Row run_one(app::Variant v, int burst) {
   // recovery IS a slow start — so a phase-based window would not compare.)
   sim::Time t0 = sim::Time::infinity();
   std::uint64_t outstanding_pkts = 0;
-  for (const auto& s : f.seq->sends()) {
+  for (const auto& s : sc.instruments(0).seq->sends()) {
     if (s.rtx) {
       t0 = s.t;
       break;
     }
     outstanding_pkts = std::max(outstanding_pkts, s.seq_pkts + 1);
   }
-  const sim::Time t1 = f.meter->time_to_ack(outstanding_pkts * 1000);
+  const sim::Time t1 = sc.instruments(0).meter->time_to_ack(outstanding_pkts * 1000);
   r.recovery_s = t1.to_seconds() - t0.to_seconds();
   // Goodput over (t0, t1]: unique bytes that reached the receiver.
   std::uint64_t at_t0 = 0, at_t1 = 0;
@@ -101,9 +95,9 @@ Row run_one(app::Variant v, int burst) {
     if (t <= t1) at_t1 = bytes;
   }
   r.recovery_kbps = (at_t1 - at_t0) * 8.0 / (t1 - t0).to_seconds() / 1e3;
-  r.completion_s = f.flow.sender->completion_time().to_seconds();
-  r.rtx = f.flow.sender->stats().retransmissions;
-  r.timeouts = f.flow.sender->stats().timeouts;
+  r.completion_s = sc.sender(0).completion_time().to_seconds();
+  r.rtx = sc.sender(0).stats().retransmissions;
+  r.timeouts = sc.sender(0).stats().timeouts;
   return r;
 }
 
@@ -133,7 +127,7 @@ int main(int argc, char** argv) {
   // The grid: burst size x variant. Scenarios are fully deterministic
   // (injected loss lists, no RNG), so the per-job seed is unused.
   const int bursts[] = {3, 6};
-  std::vector<rrtcp::harness::ScenarioSpec> jobs;
+  std::vector<rrtcp::harness::SweepJob> jobs;
   std::vector<std::pair<int, app::Variant>> grid;
   std::vector<Row> rows;
   for (int burst : bursts)

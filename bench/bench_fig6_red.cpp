@@ -25,20 +25,6 @@ struct RunOut {
 };
 
 RunOut run_variant(app::Variant v, std::uint64_t seed) {
-  sim::Simulator sim;
-  net::DumbbellConfig netcfg;
-  netcfg.n_flows = 10;
-  net::RedQueue* red = nullptr;
-  netcfg.make_bottleneck_queue = [&sim, &red, seed] {
-    net::RedConfig rc;  // Table 4 values are the defaults
-    rc.mean_pkt_tx = sim::Time::transmission(1000, 800'000);
-    rc.seed = seed;  // per-job, derived from the sweep's base seed
-    auto q = std::make_unique<net::RedQueue>(sim, rc);
-    red = q.get();
-    return q;
-  };
-  net::DumbbellTopology topo{sim, netcfg};
-
   // ns-2-style window bound: the paper's plots show cwnd topping out near
   // 16, consistent with the classic ns-2 script default of window_ = 20
   // (which also bounds the initial ssthresh). Without it, slow-start
@@ -48,27 +34,33 @@ RunOut run_variant(app::Variant v, std::uint64_t seed) {
   tcfg.max_window_pkts = 20;
   tcfg.init_ssthresh_pkts = 20;
 
-  std::vector<InstrumentedFlow> flows;
-  for (int i = 0; i < 10; ++i) {
-    // Flows 1-5 start at 0; flows 6-10 at 0.5 s intervals up to 2.5 s.
-    const sim::Time start =
-        i < 5 ? sim::Time::zero() : sim::Time::milliseconds(500) * (i - 4);
-    flows.push_back(make_instrumented_flow(v, sim, topo, i, start,
-                                           std::nullopt, tcfg));
-  }
-  audit::ScopedAudit audit{sim};
-  audit.attach_topology(topo);
-  for (auto& f : flows) audit_flow(audit, f);
-  const sim::Time horizon = sim::Time::seconds(6);
-  sim.run_until(horizon);
+  net::RedConfig rc;  // Table 4 values are the defaults
+  rc.mean_pkt_tx = sim::Time::transmission(1000, 800'000);
 
+  harness::ScenarioSpec spec;
+  spec.name = std::string{"fig6/"} + app::to_string(v);
+  spec.bottleneck = harness::QueueSpec::red_queue(rc);
+  spec.seed = seed;  // per-job, derived from the sweep's base seed
+  spec.horizon = sim::Time::seconds(6);
+  // Flows 1-5 start at 0; flows 6-10 at 0.5 s intervals up to 2.5 s.
+  spec.add_flows(5, {.variant = v, .tcp = tcfg});
+  spec.add_flows(5,
+                 {.variant = v, .start = sim::Time::milliseconds(500),
+                  .tcp = tcfg},
+                 sim::Time::milliseconds(500));
+  harness::Scenario sc{spec};
+  sc.run();
+
+  const sim::Time horizon = spec.horizon;
   RunOut out;
-  out.series = flows[0].seq->ack_series(sim::Time::milliseconds(250), horizon);
-  out.kbps = flows[0].meter->throughput_bps(sim::Time::zero(), horizon) / 1e3;
-  out.timeouts = flows[0].flow.sender->stats().timeouts;
-  out.rtx = flows[0].flow.sender->stats().retransmissions;
-  out.red_early = red->early_drops();
-  out.red_forced = red->forced_drops();
+  out.series =
+      sc.instruments(0).seq->ack_series(sim::Time::milliseconds(250), horizon);
+  out.kbps =
+      sc.instruments(0).meter->throughput_bps(sim::Time::zero(), horizon) / 1e3;
+  out.timeouts = sc.sender(0).stats().timeouts;
+  out.rtx = sc.sender(0).stats().retransmissions;
+  out.red_early = sc.red()->early_drops();
+  out.red_forced = sc.red()->forced_drops();
   return out;
 }
 
@@ -88,7 +80,7 @@ int main(int argc, char** argv) {
   // the first sub-seed's trace, as the paper plots one run.
   constexpr int kNumSubSeeds = 8;
   std::vector<RunOut> outs(std::size(panel));
-  std::vector<rrtcp::harness::ScenarioSpec> jobs;
+  std::vector<rrtcp::harness::SweepJob> jobs;
   for (Variant v : panel) {
     jobs.push_back(
         {std::string{"variant="} + rrtcp::app::to_string(v),

@@ -26,32 +26,25 @@ struct Sample {
 };
 
 Sample run_one(app::Variant v, double p, std::uint64_t seed) {
-  sim::Simulator sim;
-  net::DumbbellConfig netcfg;
-  netcfg.n_flows = 1;
-  netcfg.side_delay = sim::Time::zero();  // RTT = 2 * 100 ms + tx
-  netcfg.make_bottleneck_queue = [] {
-    // Deep buffer so that *only* the artificial uniform losses matter
-    // (the paper's "random packet-loss rate" is the controlled variable).
-    return std::make_unique<net::DropTailQueue>(200);
-  };
-  net::DumbbellTopology topo{sim, netcfg};
-  topo.bottleneck().set_loss_model(
+  harness::ScenarioSpec spec;
+  spec.name = std::string{"fig7/"} + app::to_string(v);
+  spec.topology.side_delay = sim::Time::zero();  // RTT = 2 * 100 ms + tx
+  // Deep buffer so that *only* the artificial uniform losses matter
+  // (the paper's "random packet-loss rate" is the controlled variable).
+  spec.bottleneck = harness::QueueSpec::drop_tail(200);
+  spec.horizon = sim::Time::seconds(110);
+  spec.add_flow({.variant = v});
+  harness::Scenario sc{spec};
+  sc.topology().bottleneck().set_loss_model(
       std::make_unique<net::UniformLossModel>(p, seed));
-
-  auto f = make_instrumented_flow(v, sim, topo, 0, sim::Time::zero(),
-                                  std::nullopt);
-  audit::ScopedAudit audit{sim};
-  audit.attach_topology(topo);
-  audit_flow(audit, f);
   const sim::Time warmup = sim::Time::seconds(10);  // start-up ignored
-  const sim::Time horizon = sim::Time::seconds(110);
-  sim.run_until(horizon);
+  sc.run();
 
-  const double bw_bps = f.meter->throughput_bps(warmup, horizon);
+  const double bw_bps =
+      sc.instruments(0).meter->throughput_bps(warmup, spec.horizon);
   Sample s;
   s.window_pkts = bw_bps * 0.2 / (1000.0 * 8.0);  // BW*RTT/MSS
-  s.timeouts = f.flow.sender->stats().timeouts;
+  s.timeouts = sc.sender(0).stats().timeouts;
   return s;
 }
 

@@ -24,55 +24,48 @@ struct Out {
 };
 
 Out run_burst(app::Variant v, int burst) {
-  sim::Simulator sim;
-  net::DumbbellConfig netcfg;
-  netcfg.n_flows = 1;
-  netcfg.make_bottleneck_queue = [] {
-    return std::make_unique<net::DropTailQueue>(100);
-  };
-  net::DumbbellTopology topo{sim, netcfg};
+  tcp::TcpConfig tcfg;
+  tcfg.init_ssthresh_pkts = 10;
+
+  harness::ScenarioSpec spec;
+  spec.name = std::string{"related/burst/"} + app::to_string(v);
+  spec.bottleneck = harness::QueueSpec::drop_tail(100);
+  spec.add_flow({.variant = v, .bytes = 100'000, .tcp = tcfg});
+  harness::Scenario sc{spec};
+
   std::vector<std::pair<net::FlowId, std::uint64_t>> losses;
   for (int i = 0; i < burst; ++i)
     losses.push_back({1, static_cast<std::uint64_t>(30 + i) * 1000});
-  topo.bottleneck().set_loss_model(
+  sc.topology().bottleneck().set_loss_model(
       std::make_unique<net::ListLossModel>(losses));
-  tcp::TcpConfig tcfg;
-  tcfg.init_ssthresh_pkts = 10;
-  auto f = make_instrumented_flow(v, sim, topo, 0, sim::Time::zero(),
-                                  100'000, tcfg);
-  audit::ScopedAudit audit{sim};
-  audit.attach_topology(topo);
-  audit_flow(audit, f);
-  sim.run_until(sim::Time::seconds(60));
+  sc.run();
+
   Out o{};
-  o.completion_s = f.flow.sender->completion_time().to_seconds();
-  o.rtx = f.flow.sender->stats().retransmissions;
-  o.timeouts = f.flow.sender->stats().timeouts;
+  o.completion_s = sc.sender(0).completion_time().to_seconds();
+  o.rtx = sc.sender(0).stats().retransmissions;
+  o.timeouts = sc.sender(0).stats().timeouts;
   return o;
 }
 
 Out run_reordering(app::Variant v) {
-  sim::Simulator sim;
-  net::DumbbellConfig netcfg;
-  netcfg.n_flows = 1;
-  netcfg.make_bottleneck_queue = [] {
-    return std::make_unique<net::DropTailQueue>(100);
-  };
-  net::DumbbellTopology topo{sim, netcfg};
-  topo.bottleneck().set_reorder_model(std::make_unique<net::ReorderModel>(
-      0.05, sim::Time::milliseconds(300), 11));
   tcp::TcpConfig tcfg;
   tcfg.init_ssthresh_pkts = 10;
-  auto f = make_instrumented_flow(v, sim, topo, 0, sim::Time::zero(),
-                                  200'000, tcfg);
-  audit::ScopedAudit audit{sim};
-  audit.attach_topology(topo);
-  audit_flow(audit, f);
-  sim.run_until(sim::Time::seconds(120));
+
+  harness::ScenarioSpec spec;
+  spec.name = std::string{"related/reorder/"} + app::to_string(v);
+  spec.bottleneck = harness::QueueSpec::drop_tail(100);
+  spec.horizon = sim::Time::seconds(120);
+  spec.add_flow({.variant = v, .bytes = 200'000, .tcp = tcfg});
+  harness::Scenario sc{spec};
+  sc.topology().bottleneck().set_reorder_model(
+      std::make_unique<net::ReorderModel>(0.05, sim::Time::milliseconds(300),
+                                          11));
+  sc.run();
+
   Out o{};
-  o.completion_s = f.flow.sender->completion_time().to_seconds();
-  o.spurious = f.flow.receiver->stats().duplicates;
-  o.fast_rtx = f.flow.sender->stats().fast_retransmits;
+  o.completion_s = sc.sender(0).completion_time().to_seconds();
+  o.spurious = sc.flow(0).receiver->stats().duplicates;
+  o.fast_rtx = sc.sender(0).stats().fast_retransmits;
   return o;
 }
 
@@ -115,7 +108,7 @@ int main(int argc, char** argv) {
   // Grid: burst=3 x schemes, burst=6 x schemes, reordering x schemes.
   // All three scenarios are deterministic given their fixed model seeds,
   // so the per-job sweep seed is unused.
-  std::vector<rrtcp::harness::ScenarioSpec> jobs;
+  std::vector<rrtcp::harness::SweepJob> jobs;
   std::vector<Out> outs(3 * std::size(kSet));
   for (int burst : {3, 6}) {
     for (app::Variant v : kSet) {

@@ -25,43 +25,33 @@ struct CaseResult {
 
 CaseResult run_case_once(app::Variant target, app::Variant background,
                          sim::Time target_start) {
-  sim::Simulator sim;
-  net::DumbbellConfig netcfg;
-  netcfg.n_flows = 20;
-  netcfg.make_bottleneck_queue = [] {
-    return std::make_unique<net::DropTailQueue>(25);
-  };
-  net::DumbbellTopology topo{sim, netcfg};
+  harness::ScenarioSpec spec;
+  spec.name = "table5";
+  spec.bottleneck = harness::QueueSpec::drop_tail(25);
+  spec.horizon = sim::Time::seconds(200);
+  // Nineteen background flows staggered 0.5 s apart, then the target.
+  spec.add_flows(19, {.variant = background},
+                 sim::Time::milliseconds(500));
+  spec.add_flow({.variant = target, .start = target_start, .bytes = 100'000});
+  harness::Scenario sc{spec};
 
   // Per-flow drop accounting at the shared bottleneck.
   std::uint64_t target_drops = 0;
   const net::FlowId target_flow = 20;
-  topo.bottleneck().queue().set_drop_callback(
+  sc.topology().bottleneck().queue().set_drop_callback(
       [&](const net::Packet& p) {
         if (p.flow == target_flow) ++target_drops;
       });
 
-  std::vector<InstrumentedFlow> flows;
-  for (int i = 0; i < 19; ++i) {
-    flows.push_back(make_instrumented_flow(
-        background, sim, topo, i, sim::Time::milliseconds(500) * i,
-        std::nullopt));
-  }
-  flows.push_back(make_instrumented_flow(
-      target, sim, topo, 19, target_start, 100'000));
-  auto& tf = flows.back();
+  sc.run();
 
-  audit::ScopedAudit audit{sim};
-  audit.attach_topology(topo);
-  for (auto& f : flows) audit_flow(audit, f);
-  sim.run_until(sim::Time::seconds(200));
-
+  tcp::TcpSenderBase& ts = sc.sender(19);
   CaseResult r{};
-  r.complete = tf.flow.sender->complete();
-  r.delay_s = r.complete ? tf.flow.sender->completion_time().to_seconds() -
-                               target_start.to_seconds()
-                         : -1.0;
-  const auto& st = tf.flow.sender->stats();
+  r.complete = ts.complete();
+  r.delay_s = r.complete
+                  ? ts.completion_time().to_seconds() - target_start.to_seconds()
+                  : -1.0;
+  const auto& st = ts.stats();
   const double offered =
       static_cast<double>(st.data_packets_sent + st.retransmissions);
   r.loss_rate = offered > 0 ? target_drops / offered : 0.0;
@@ -113,7 +103,7 @@ int main(int argc, char** argv) {
   };
 
   const std::size_t n_starts = std::size(kStarts);
-  std::vector<rrtcp::harness::ScenarioSpec> jobs;
+  std::vector<rrtcp::harness::SweepJob> jobs;
   std::vector<CaseResult> runs(std::size(cases) * n_starts);
   for (const Case& c : cases) {
     for (double start : kStarts) {

@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
 
   if (do_replay) return replay(replay_seed, opts);
 
-  const std::vector<harness::ScenarioSpec> jobs =
+  const std::vector<harness::SweepJob> jobs =
       harness::make_chaos_jobs(opts, cli.options.base_seed);
   harness::ResultSink sink{jobs.size()};
   const harness::SweepTiming timing =

@@ -4,17 +4,14 @@
 // buffer of 8 packets), runs a single RR flow for 20 simulated seconds,
 // and prints what happened. Run with --verbose for a per-event trace, or
 // with a variant name (tahoe|reno|newreno|sack|rr) to compare.
+//
+// The whole experiment is one declarative ScenarioSpec — see
+// src/harness/scenario.hpp for everything a spec can express.
 #include <cstdio>
 #include <cstring>
 
-#include "app/flow_factory.hpp"
-#include "app/ftp.hpp"
-#include "net/drop_tail.hpp"
-#include "net/dumbbell.hpp"
+#include "harness/scenario.hpp"
 #include "sim/log.hpp"
-#include "sim/simulator.hpp"
-#include "stats/throughput.hpp"
-#include "stats/tracer.hpp"
 
 int main(int argc, char** argv) {
   using namespace rrtcp;
@@ -28,30 +25,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  sim::Simulator sim;
+  harness::ScenarioSpec spec;  // Table 3 topology + 8-packet drop-tail
+  spec.name = "quickstart";
+  spec.horizon = sim::Time::seconds(20);
+  spec.add_flow({.variant = variant});  // unbounded FTP starting at t=0
+  harness::Scenario sc{spec};
+  sc.run();
 
-  net::DumbbellConfig netcfg;
-  netcfg.n_flows = 1;
-  net::DumbbellTopology topo{sim, netcfg};
-
-  app::Flow flow = app::make_flow(variant, sim, topo.sender_node(0),
-                                  topo.receiver_node(0), /*flow=*/1);
-  stats::ThroughputMeter meter;
-  stats::PhaseTracer phases;
-  flow.sender->add_observer(&meter);
-  flow.sender->add_observer(&phases);
-
-  // Unbounded FTP transfer starting at t=0.
-  app::FtpSource ftp{sim, *flow.sender, sim::Time::zero(), std::nullopt};
-
-  const sim::Time horizon = sim::Time::seconds(20);
-  sim.run_until(horizon);
-
-  const auto& st = flow.sender->stats();
-  std::printf("variant:            %s\n", flow.sender->variant_name());
+  const sim::Time horizon = spec.horizon;
+  const auto& st = sc.sender(0).stats();
+  const harness::FlowInstruments& fi = sc.instruments(0);
+  std::printf("variant:            %s\n", sc.sender(0).variant_name());
   std::printf("simulated time:     %.1f s\n", horizon.to_seconds());
   std::printf("goodput:            %.1f kbit/s (bottleneck 800 kbit/s)\n",
-              meter.throughput_bps(sim::Time::zero(), horizon) / 1e3);
+              fi.meter->throughput_bps(sim::Time::zero(), horizon) / 1e3);
   std::printf("data packets sent:  %llu (+%llu retransmissions)\n",
               static_cast<unsigned long long>(st.data_packets_sent),
               static_cast<unsigned long long>(st.retransmissions));
@@ -59,10 +46,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(st.fast_retransmits));
   std::printf("timeouts:           %llu\n", static_cast<unsigned long long>(st.timeouts));
   std::printf("bottleneck drops:   %llu\n",
-              static_cast<unsigned long long>(topo.bottleneck().queue().stats().dropped));
+              static_cast<unsigned long long>(sc.topology().bottleneck().queue().stats().dropped));
   std::printf("time in recovery:   %.2f s\n",
-              phases.time_in_recovery(horizon).to_seconds());
+              fi.phases->time_in_recovery(horizon).to_seconds());
   std::printf("final cwnd:         %.1f packets\n",
-              flow.sender->cwnd_packets());
+              sc.sender(0).cwnd_packets());
   return 0;
 }

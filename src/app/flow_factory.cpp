@@ -1,84 +1,17 @@
 #include "app/flow_factory.hpp"
 
-#include <stdexcept>
-#include <string>
-
-#include "core/rr_sender.hpp"
-#include "tcp/newreno.hpp"
-#include "tcp/related_work.hpp"
-#include "tcp/reno.hpp"
-#include "tcp/sack.hpp"
-#include "tcp/tahoe.hpp"
+#include "app/sender_factory.hpp"
 
 namespace rrtcp::app {
 
-const char* to_string(Variant v) {
-  switch (v) {
-    case Variant::kTahoe:
-      return "tahoe";
-    case Variant::kReno:
-      return "reno";
-    case Variant::kNewReno:
-      return "newreno";
-    case Variant::kSack:
-      return "sack";
-    case Variant::kRr:
-      return "rr";
-    case Variant::kRightEdge:
-      return "rightedge";
-    case Variant::kLinKung:
-      return "linkung";
-  }
-  return "?";
-}
-
-Variant variant_from_string(std::string_view name) {
-  if (name == "tahoe") return Variant::kTahoe;
-  if (name == "reno") return Variant::kReno;
-  if (name == "newreno") return Variant::kNewReno;
-  if (name == "sack") return Variant::kSack;
-  if (name == "rr") return Variant::kRr;
-  if (name == "rightedge") return Variant::kRightEdge;
-  if (name == "linkung") return Variant::kLinKung;
-  throw std::invalid_argument("unknown TCP variant: " + std::string(name));
-}
-
 Flow make_flow(Variant v, sim::Simulator& sim, net::Node& snd_node,
                net::Node& rcv_node, net::FlowId flow, tcp::TcpConfig cfg) {
+  const SenderFactory& registry = SenderFactory::instance();
   Flow f;
-  switch (v) {
-    case Variant::kTahoe:
-      f.sender = std::make_unique<tcp::TahoeSender>(sim, snd_node, flow,
-                                                    rcv_node.id(), cfg);
-      break;
-    case Variant::kReno:
-      f.sender = std::make_unique<tcp::RenoSender>(sim, snd_node, flow,
-                                                   rcv_node.id(), cfg);
-      break;
-    case Variant::kNewReno:
-      f.sender = std::make_unique<tcp::NewRenoSender>(sim, snd_node, flow,
-                                                      rcv_node.id(), cfg);
-      break;
-    case Variant::kSack:
-      f.sender = std::make_unique<tcp::SackSender>(sim, snd_node, flow,
-                                                   rcv_node.id(), cfg);
-      break;
-    case Variant::kRr:
-      f.sender = std::make_unique<core::RrSender>(sim, snd_node, flow,
-                                                  rcv_node.id(), cfg);
-      break;
-    case Variant::kRightEdge:
-      f.sender = std::make_unique<tcp::RightEdgeSender>(sim, snd_node, flow,
-                                                        rcv_node.id(), cfg);
-      break;
-    case Variant::kLinKung:
-      f.sender = std::make_unique<tcp::LinKungSender>(sim, snd_node, flow,
-                                                      rcv_node.id(), cfg);
-      break;
-  }
+  f.sender = registry.make(v, sim, snd_node, flow, rcv_node.id(), cfg);
   tcp::ReceiverConfig rcfg;
   rcfg.ack_bytes = cfg.ack_bytes;
-  rcfg.sack_enabled = (v == Variant::kSack);
+  rcfg.sack_enabled = registry.at(v).sack_receiver;
   rcfg.ecn_enabled = cfg.ecn_enabled;
   f.receiver = std::make_unique<tcp::TcpReceiver>(sim, rcv_node, flow,
                                                   snd_node.id(), rcfg);

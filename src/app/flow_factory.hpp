@@ -1,47 +1,20 @@
 // Flow construction: bundles a sender variant with its matching receiver.
 //
-// The factory is the one place that knows which receiver options a variant
-// needs (SACK block generation for the SACK sender, plain cumulative ACKs
-// for everything else — RR's headline deployment property).
+// Sender construction and the variant→receiver pairing live in the
+// SenderFactory registry (app/sender_factory.hpp); make_flow is the
+// convenience that builds both ends of a connection and wires them
+// together.
 #pragma once
 
 #include <memory>
-#include <string_view>
 
+#include "app/variant.hpp"
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/receiver.hpp"
 #include "tcp/sender_base.hpp"
 
 namespace rrtcp::app {
-
-enum class Variant {
-  kTahoe,
-  kReno,
-  kNewReno,
-  kSack,
-  kRr,
-  // Related-work schemes from the paper's introduction (src/tcp/
-  // related_work.hpp): not part of the paper's own comparison set.
-  kRightEdge,
-  kLinKung,
-};
-
-const char* to_string(Variant v);
-// Parses "tahoe" | "reno" | "newreno" | "sack" | "rr" | "rightedge" |
-// "linkung" (case-sensitive); throws std::invalid_argument otherwise.
-Variant variant_from_string(std::string_view name);
-
-// The five variants of the paper's evaluation, in the order it compares
-// them.
-inline constexpr Variant kAllVariants[] = {Variant::kTahoe, Variant::kReno,
-                                           Variant::kNewReno, Variant::kSack,
-                                           Variant::kRr};
-
-// Everything, including the related-work schemes.
-inline constexpr Variant kExtendedVariants[] = {
-    Variant::kTahoe, Variant::kReno,      Variant::kNewReno, Variant::kSack,
-    Variant::kRr,    Variant::kRightEdge, Variant::kLinKung};
 
 struct Flow {
   std::unique_ptr<tcp::TcpSenderBase> sender;

@@ -1,0 +1,75 @@
+#include "app/sender_factory.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/rr_sender.hpp"
+#include "tcp/newreno.hpp"
+#include "tcp/related_work.hpp"
+#include "tcp/reno.hpp"
+#include "tcp/sack.hpp"
+#include "tcp/tahoe.hpp"
+
+namespace rrtcp::app {
+
+namespace {
+
+template <typename Sender>
+std::unique_ptr<tcp::TcpSenderBase> make_sender(sim::Simulator& sim,
+                                                net::Node& snd_node,
+                                                net::FlowId flow,
+                                                net::NodeId dst,
+                                                const tcp::TcpConfig& cfg) {
+  return std::make_unique<Sender>(sim, snd_node, flow, dst, cfg);
+}
+
+}  // namespace
+
+SenderFactory::SenderFactory() {
+  auto set = [this](Variant v, const char* name, Maker maker,
+                    bool sack_receiver) {
+    entries_[static_cast<std::size_t>(v)] = Entry{name, maker, sack_receiver};
+  };
+  set(Variant::kTahoe, "tahoe", &make_sender<tcp::TahoeSender>, false);
+  set(Variant::kReno, "reno", &make_sender<tcp::RenoSender>, false);
+  set(Variant::kNewReno, "newreno", &make_sender<tcp::NewRenoSender>, false);
+  set(Variant::kSack, "sack", &make_sender<tcp::SackSender>, true);
+  set(Variant::kRr, "rr", &make_sender<core::RrSender>, false);
+  set(Variant::kRightEdge, "rightedge", &make_sender<tcp::RightEdgeSender>,
+      false);
+  set(Variant::kLinKung, "linkung", &make_sender<tcp::LinKungSender>, false);
+}
+
+const SenderFactory& SenderFactory::instance() {
+  static const SenderFactory registry;
+  return registry;
+}
+
+const SenderFactory::Entry& SenderFactory::at(Variant v) const {
+  const auto i = static_cast<std::size_t>(v);
+  if (i >= kVariantCount || entries_[i].make == nullptr)
+    throw std::invalid_argument("variant not registered");
+  return entries_[i];
+}
+
+std::unique_ptr<tcp::TcpSenderBase> SenderFactory::make(
+    Variant v, sim::Simulator& sim, net::Node& snd_node, net::FlowId flow,
+    net::NodeId dst, const tcp::TcpConfig& cfg) const {
+  return at(v).make(sim, snd_node, flow, dst, cfg);
+}
+
+Variant SenderFactory::parse(std::string_view name) const {
+  for (std::size_t i = 0; i < kVariantCount; ++i) {
+    if (entries_[i].name != nullptr && name == entries_[i].name)
+      return static_cast<Variant>(i);
+  }
+  throw std::invalid_argument("unknown TCP variant: " + std::string(name));
+}
+
+const char* to_string(Variant v) { return SenderFactory::instance().name_of(v); }
+
+Variant variant_from_string(std::string_view name) {
+  return SenderFactory::instance().parse(name);
+}
+
+}  // namespace rrtcp::app

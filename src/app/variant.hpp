@@ -1,0 +1,40 @@
+// The TCP sender variants the repo can construct.
+//
+// Kept in its own header so identity-level consumers (scenario specs,
+// result records, CLIs) don't pull in sender/receiver construction; the
+// registry that knows how to BUILD each variant is app/sender_factory.hpp.
+#pragma once
+
+#include <string_view>
+
+namespace rrtcp::app {
+
+enum class Variant {
+  kTahoe,
+  kReno,
+  kNewReno,
+  kSack,
+  kRr,
+  // Related-work schemes from the paper's introduction (src/tcp/
+  // related_work.hpp): not part of the paper's own comparison set.
+  kRightEdge,
+  kLinKung,
+};
+
+const char* to_string(Variant v);
+// Parses "tahoe" | "reno" | "newreno" | "sack" | "rr" | "rightedge" |
+// "linkung" (case-sensitive); throws std::invalid_argument otherwise.
+Variant variant_from_string(std::string_view name);
+
+// The five variants of the paper's evaluation, in the order it compares
+// them.
+inline constexpr Variant kAllVariants[] = {Variant::kTahoe, Variant::kReno,
+                                           Variant::kNewReno, Variant::kSack,
+                                           Variant::kRr};
+
+// Everything, including the related-work schemes.
+inline constexpr Variant kExtendedVariants[] = {
+    Variant::kTahoe, Variant::kReno,      Variant::kNewReno, Variant::kSack,
+    Variant::kRr,    Variant::kRightEdge, Variant::kLinKung};
+
+}  // namespace rrtcp::app

@@ -226,9 +226,11 @@ void FaultInjector::send(net::Packet p) {
     // The held packet is still "before" the wrapped link: when it emerges
     // it re-checks the drop windows (emerge()), so a spike cannot carry a
     // packet across the start of a blackhole.
-    sim_.schedule_in(extra, [this, p = std::move(p), duplicate]() mutable {
+    auto release = [this, p = std::move(p), duplicate]() mutable {
       emerge(std::move(p), duplicate);
-    });
+    };
+    static_assert(sim::Simulator::fits_inline<decltype(release)>());
+    sim_.schedule_in(extra, std::move(release));
     return;
   }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "app/ftp.hpp"
+#include "harness/instrumentation.hpp"
 #include "net/drop_tail.hpp"
 #include "net/dumbbell.hpp"
 #include "sim/assert.hpp"
@@ -62,14 +63,19 @@ ChaosRunOutcome run_chaos_schedule(const chaos::FaultPlan& plan,
 
   // Audit + watchdog attach AFTER the flows so they detach first on the
   // way out (observer lifetime, same pattern as the scenario runner).
-  // kRecord mode: the soak inspects counts in every build configuration.
-  audit::AuditSession audit{sim, audit::AuditSession::FailMode::kRecord};
-  audit.attach_topology(topo);
-  for (app::Flow& f : flows) audit.attach(*f.sender, f.receiver.get());
-
-  chaos::LivenessWatchdog watchdog{sim, cfg.watchdog,
-                                   chaos::LivenessWatchdog::FailMode::kRecord};
-  for (app::Flow& f : flows) watchdog.attach(*f.sender);
+  // kRecord audit mode: the soak inspects counts in every build
+  // configuration. No per-flow tracers — the soak grades outcomes, not
+  // throughput curves.
+  InstrumentationOptions iopts;
+  iopts.tracers = false;
+  iopts.audit = AuditMode::kRecord;
+  iopts.watchdog = true;
+  iopts.watchdog_config = cfg.watchdog;
+  Instrumentation inst{sim, iopts};
+  inst.attach_topology(topo);
+  for (app::Flow& f : flows) inst.attach(f);
+  audit::AuditSession& audit = *inst.recording_session();
+  chaos::LivenessWatchdog& watchdog = *inst.watchdog();
 
   sim.run_until(cfg.horizon);
 
@@ -100,11 +106,11 @@ ChaosRunOutcome run_chaos_schedule(const chaos::FaultPlan& plan,
   return out;
 }
 
-std::vector<ScenarioSpec> make_chaos_jobs(const ChaosSoakOptions& opts,
+std::vector<SweepJob> make_chaos_jobs(const ChaosSoakOptions& opts,
                                           std::uint64_t base_seed) {
   RRTCP_ASSERT(opts.n_schedules >= 1);
   RRTCP_ASSERT(!opts.variants.empty());
-  std::vector<ScenarioSpec> jobs;
+  std::vector<SweepJob> jobs;
   jobs.reserve(static_cast<std::size_t>(opts.n_schedules) *
                opts.variants.size());
   for (int sched = 0; sched < opts.n_schedules; ++sched) {
@@ -115,7 +121,7 @@ std::vector<ScenarioSpec> make_chaos_jobs(const ChaosSoakOptions& opts,
     for (const app::Variant v : opts.variants) {
       char id[64];
       std::snprintf(id, sizeof id, "chaos/%03d/%s", sched, app::to_string(v));
-      ScenarioSpec spec;
+      SweepJob spec;
       spec.id = id;
       spec.run = [opts, sched, plan_seed, v](const JobContext&) {
         const chaos::FaultPlan plan =

@@ -90,7 +90,7 @@ struct ChaosSoakOptions {
 // keyed by SCHEDULE index, not job index, so all variants of a schedule
 // face the byte-identical fault sequence. Each record carries the plan
 // seed, its description, and the ChaosRunOutcome fields.
-std::vector<ScenarioSpec> make_chaos_jobs(const ChaosSoakOptions& opts,
+std::vector<SweepJob> make_chaos_jobs(const ChaosSoakOptions& opts,
                                           std::uint64_t base_seed);
 
 }  // namespace rrtcp::harness

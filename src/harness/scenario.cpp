@@ -1,0 +1,52 @@
+#include "harness/scenario.hpp"
+
+#include "app/flow_factory.hpp"
+#include "net/drop_tail.hpp"
+#include "sim/assert.hpp"
+
+namespace rrtcp::harness {
+
+Scenario::Scenario(ScenarioSpec spec) : spec_{std::move(spec)} {
+  RRTCP_ASSERT_MSG(!spec_.flows.empty(), "scenario needs at least one flow");
+
+  net::DumbbellConfig netcfg = spec_.topology;
+  netcfg.n_flows = static_cast<int>(spec_.flows.size());
+  switch (spec_.bottleneck.kind) {
+    case QueueSpec::Kind::kDropTail:
+      netcfg.make_bottleneck_queue = [cap = spec_.bottleneck.capacity_packets] {
+        return std::make_unique<net::DropTailQueue>(cap);
+      };
+      break;
+    case QueueSpec::Kind::kRed:
+      netcfg.make_bottleneck_queue = [this] {
+        net::RedConfig rc = spec_.bottleneck.red;
+        rc.seed = spec_.seed;
+        auto q = std::make_unique<net::RedQueue>(sim_, rc);
+        red_ = q.get();
+        return q;
+      };
+      break;
+  }
+  topo_ = std::make_unique<net::DumbbellTopology>(sim_, netcfg);
+
+  flows_.reserve(spec_.flows.size());
+  for (std::size_t i = 0; i < spec_.flows.size(); ++i) {
+    const FlowSpec& fs = spec_.flows[i];
+    flows_.push_back(app::make_flow(
+        fs.variant, sim_, topo_->sender_node(static_cast<int>(i)),
+        topo_->receiver_node(static_cast<int>(i)),
+        static_cast<net::FlowId>(i + 1), fs.tcp));
+  }
+
+  sources_.reserve(spec_.flows.size());
+  for (std::size_t i = 0; i < spec_.flows.size(); ++i) {
+    sources_.push_back(std::make_unique<app::FtpSource>(
+        sim_, *flows_[i].sender, spec_.flows[i].start, spec_.flows[i].bytes));
+  }
+
+  instrumentation_ = std::make_unique<Instrumentation>(sim_, spec_.instruments);
+  for (app::Flow& f : flows_) instrumentation_->attach(f);
+  instrumentation_->attach_topology(*topo_);
+}
+
+}  // namespace rrtcp::harness

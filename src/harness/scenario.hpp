@@ -1,0 +1,143 @@
+// Declarative scenario description + runner.
+//
+// A ScenarioSpec is a plain value: dumbbell topology, bottleneck queue
+// choice, the list of flows (variant, start time, transfer size, TCP
+// config), instrumentation options, a seed and a horizon. Because it is
+// data, a spec can be built once and handed to a sweep job, mutated per
+// grid point, or printed; the imperative build-everything-by-hand dance
+// the bench binaries used to repeat lives in ONE place, the Scenario
+// constructor.
+//
+//   harness::ScenarioSpec spec;
+//   spec.name = "fig5/newreno";
+//   spec.bottleneck = harness::QueueSpec::drop_tail(100);
+//   spec.add_flow({.variant = app::Variant::kNewReno,
+//                  .bytes = 100'000, .tcp = tcfg});
+//   harness::Scenario sc{spec};
+//   sc.topology().bottleneck().set_loss_model(...);   // optional knobs
+//   sc.run();
+//   ... sc.instruments(0).meter->throughput_bps(...) ...
+//
+// Member order in Scenario is its teardown contract: instrumentation
+// detaches first, then sources stop, then flows die, then the topology,
+// then the simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/ftp.hpp"
+#include "app/variant.hpp"
+#include "harness/instrumentation.hpp"
+#include "net/dumbbell.hpp"
+#include "net/red.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/types.hpp"
+
+namespace rrtcp::harness {
+
+// Bottleneck queue selection, as data. The sim-capturing factory function
+// in DumbbellConfig cannot live in a value-type spec (it would dangle);
+// Scenario translates this into one at build time.
+struct QueueSpec {
+  enum class Kind { kDropTail, kRed };
+  Kind kind = Kind::kDropTail;
+  std::uint64_t capacity_packets = 8;  // drop-tail (Table 3 default)
+  net::RedConfig red = {};             // used when kind == kRed
+
+  static QueueSpec drop_tail(std::uint64_t capacity) {
+    QueueSpec q;
+    q.kind = Kind::kDropTail;
+    q.capacity_packets = capacity;
+    return q;
+  }
+  static QueueSpec red_queue(net::RedConfig cfg) {
+    QueueSpec q;
+    q.kind = Kind::kRed;
+    q.red = cfg;
+    return q;
+  }
+};
+
+struct FlowSpec {
+  app::Variant variant = app::Variant::kRr;
+  sim::Time start = sim::Time::zero();
+  // Transfer size; nullopt = unbounded FTP.
+  std::optional<std::uint64_t> bytes = std::nullopt;
+  tcp::TcpConfig tcp = {};
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  // Topology knobs (bandwidths, delays, side buffers, per-flow RTT
+  // overrides). n_flows and make_bottleneck_queue are overwritten by
+  // flows.size() and `bottleneck` at build time.
+  net::DumbbellConfig topology = {};
+  QueueSpec bottleneck = {};
+  std::vector<FlowSpec> flows;
+  InstrumentationOptions instruments = {};
+  // Seeds randomized components (currently the RED drop RNG); pass the
+  // sweep's derived per-job seed here.
+  std::uint64_t seed = 1;
+  sim::Time horizon = sim::Time::seconds(60);
+
+  ScenarioSpec& add_flow(FlowSpec f) {
+    flows.push_back(std::move(f));
+    return *this;
+  }
+  // n identical flows whose starts are staggered `stagger` apart.
+  ScenarioSpec& add_flows(int n, FlowSpec f,
+                          sim::Time stagger = sim::Time::zero()) {
+    const sim::Time base = f.start;
+    for (int i = 0; i < n; ++i) {
+      f.start = base + stagger * i;
+      flows.push_back(f);
+    }
+    return *this;
+  }
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioSpec spec);
+
+  sim::Simulator& sim() { return sim_; }
+  net::DumbbellTopology& topology() { return *topo_; }
+
+  int n_flows() const { return static_cast<int>(flows_.size()); }
+  app::Flow& flow(int i) { return flows_.at(static_cast<std::size_t>(i)); }
+  tcp::TcpSenderBase& sender(int i) { return *flow(i).sender; }
+  app::FtpSource& source(int i) {
+    return *sources_.at(static_cast<std::size_t>(i));
+  }
+  FlowInstruments& instruments(int i) {
+    return instrumentation_->flow(static_cast<std::size_t>(i));
+  }
+  Instrumentation& instrumentation() { return *instrumentation_; }
+
+  // The bottleneck RED queue, when the spec asked for one (else nullptr).
+  net::RedQueue* red() { return red_; }
+
+  // Runs to the spec's horizon (or an explicit deadline); returns events
+  // executed.
+  std::uint64_t run() { return sim_.run_until(spec_.horizon); }
+  std::uint64_t run_until(sim::Time deadline) {
+    return sim_.run_until(deadline);
+  }
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+ private:
+  ScenarioSpec spec_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::DumbbellTopology> topo_;
+  net::RedQueue* red_ = nullptr;
+  std::vector<app::Flow> flows_;
+  std::vector<std::unique_ptr<app::FtpSource>> sources_;
+  std::unique_ptr<Instrumentation> instrumentation_;
+};
+
+}  // namespace rrtcp::harness

@@ -20,7 +20,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-void run_one_job(const ScenarioSpec& job, std::size_t index,
+void run_one_job(const SweepJob& job, std::size_t index,
                  std::uint64_t base_seed, ResultSink& sink) {
   const auto t0 = std::chrono::steady_clock::now();
   const JobContext ctx{index, derive_seed(base_seed, index)};
@@ -66,7 +66,7 @@ int resolve_threads(int requested) {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-SweepTiming run_sweep(const std::vector<ScenarioSpec>& jobs, ResultSink& sink,
+SweepTiming run_sweep(const std::vector<SweepJob>& jobs, ResultSink& sink,
                       const SweepOptions& opts) {
   RRTCP_ASSERT_MSG(sink.size() == jobs.size(),
                    "sink size must match job count");

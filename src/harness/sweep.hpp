@@ -11,7 +11,7 @@
 //    or wall-clock time. The same grid with the same base seed produces
 //    the same per-job seeds under any thread count.
 //  * Isolation: a job must touch nothing outside its own stack — the
-//    ScenarioSpec callback builds the whole simulation locally. The only
+//    SweepJob callback builds the whole simulation locally. The only
 //    shared object is the mutex-guarded ResultSink.
 //  * Ordering: the sink stores results by job index, so CSV/JSON emission
 //    is byte-identical no matter how completions interleave.
@@ -39,7 +39,7 @@ struct JobContext {
 // worker thread; it must build its own Simulator and use ctx.seed for any
 // randomness. Its Record becomes one row of the sweep's CSV/JSON (the
 // harness prepends an "id" column).
-struct ScenarioSpec {
+struct SweepJob {
   std::string id;
   std::function<Record(const JobContext&)> run;
 };
@@ -69,7 +69,7 @@ int resolve_threads(int requested);
 // order. Blocks until every job has finished. A job that throws
 // std::exception submits a Record with an "error" field instead of
 // propagating — one bad scenario does not tear down the sweep.
-SweepTiming run_sweep(const std::vector<ScenarioSpec>& jobs, ResultSink& sink,
+SweepTiming run_sweep(const std::vector<SweepJob>& jobs, ResultSink& sink,
                       const SweepOptions& opts = {});
 
 // Command-line front end shared by the bench binaries:

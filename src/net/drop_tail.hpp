@@ -6,8 +6,7 @@
 // with heterogeneous packet sizes.
 #pragma once
 
-#include <deque>
-
+#include "net/packet_ring.hpp"
 #include "net/queue_disc.hpp"
 
 namespace rrtcp::net {
@@ -28,7 +27,7 @@ class DropTailQueue final : public QueueDisc {
   Mode mode() const { return mode_; }
 
  private:
-  std::deque<Packet> q_;
+  PacketRing q_;
   std::uint64_t bytes_ = 0;
   std::uint64_t capacity_;
   Mode mode_;

@@ -43,16 +43,22 @@ void Link::try_transmit() {
   ++pkt.hops;
   const sim::Time jitter =
       reorder_ ? reorder_->delay_for_next_packet() : sim::Time::zero();
-  sim_.schedule_in(tx + cfg_.prop_delay + jitter, [this, pkt]() mutable {
+  auto deliver = [this, pkt]() mutable {
     ++delivered_;
     bytes_delivered_ += pkt.size_bytes;
     RRTCP_ASSERT_MSG(dst_ != nullptr, "link has no destination node");
     dst_->receive(std::move(pkt));
-  });
-  sim_.schedule_in(tx, [this] {
+  };
+  // The forwarding path must stay allocation-free: both per-packet events
+  // have to fit the scheduler's inline capture buffer.
+  static_assert(sim::Simulator::fits_inline<decltype(deliver)>());
+  sim_.schedule_in(tx + cfg_.prop_delay + jitter, std::move(deliver));
+  auto release = [this] {
     busy_ = false;
     try_transmit();
-  });
+  };
+  static_assert(sim::Simulator::fits_inline<decltype(release)>());
+  sim_.schedule_in(tx, std::move(release));
 }
 
 double Link::utilization(sim::Time now) const {

@@ -8,8 +8,7 @@
 // max_p 0.02, w_q 0.002).
 #pragma once
 
-#include <deque>
-
+#include "net/packet_ring.hpp"
 #include "net/queue_disc.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -65,7 +64,7 @@ class RedQueue final : public QueueDisc {
   RedConfig cfg_;
   sim::Rng rng_;
 
-  std::deque<Packet> q_;
+  PacketRing q_;
   std::uint64_t bytes_ = 0;
 
   double avg_ = 0.0;

@@ -1,0 +1,147 @@
+// The pre-pooling event scheduler, preserved verbatim as a baseline.
+//
+// This is the engine the Simulator shipped with before the calendar/pool
+// rework: a std::priority_queue binary heap whose entries own a
+// shared_ptr<EventState> (one allocation per event) wrapping a
+// std::function (a second allocation whenever the capture outgrows the
+// small-buffer optimization — every link delivery, which captures a full
+// Packet). It is kept for two consumers:
+//
+//   * tests/sim/test_scheduler_equivalence.cpp drives randomized
+//     schedule/cancel/re-entrancy workloads through both engines and
+//     asserts byte-identical execution traces — the proof that the pooled
+//     4-ary heap preserved the (time, insertion-seq) FIFO ordering rule;
+//   * bench/bench_micro.cpp measures both engines on the same
+//     forwarding-shaped workload and records the speedup in
+//     BENCH_micro.json (the perf-regression trajectory).
+//
+// Do not "optimize" this file; its value is being the fixed reference.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace rrtcp::sim {
+
+namespace legacy_detail {
+struct EventState {
+  std::function<void()> fn;
+  bool cancelled = false;
+};
+}  // namespace legacy_detail
+
+class LegacySimulator;
+
+class LegacyEventHandle {
+ public:
+  LegacyEventHandle() = default;
+
+  bool cancel() {
+    if (auto st = state_.lock(); st && !st->cancelled) {
+      st->cancelled = true;
+      st->fn = nullptr;
+      return true;
+    }
+    return false;
+  }
+
+  bool pending() const {
+    auto st = state_.lock();
+    return st && !st->cancelled;
+  }
+
+ private:
+  friend class LegacySimulator;
+  explicit LegacyEventHandle(std::weak_ptr<legacy_detail::EventState> st)
+      : state_{std::move(st)} {}
+  std::weak_ptr<legacy_detail::EventState> state_;
+};
+
+class LegacySimulator {
+ public:
+  LegacySimulator() = default;
+  LegacySimulator(const LegacySimulator&) = delete;
+  LegacySimulator& operator=(const LegacySimulator&) = delete;
+
+  Time now() const { return now_; }
+
+  LegacyEventHandle schedule_at(Time at, std::function<void()> fn) {
+    RRTCP_ASSERT_MSG(at >= now_, "cannot schedule an event in the past");
+    RRTCP_ASSERT_MSG(static_cast<bool>(fn), "event callable must be non-empty");
+    auto state = std::make_shared<legacy_detail::EventState>();
+    state->fn = std::move(fn);
+    LegacyEventHandle handle{state};
+    heap_.push(HeapEntry{at, next_seq_++, std::move(state)});
+    return handle;
+  }
+
+  LegacyEventHandle schedule_in(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  std::uint64_t run() {
+    stopped_ = false;
+    std::uint64_t n = 0;
+    while (!stopped_ && step()) ++n;
+    return n;
+  }
+
+  std::uint64_t run_until(Time deadline) {
+    stopped_ = false;
+    std::uint64_t n = 0;
+    while (!stopped_) {
+      while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
+      if (heap_.empty()) break;
+      if (heap_.top().at > deadline) break;
+      if (step()) ++n;
+    }
+    if (!stopped_ && now_ < deadline) now_ = deadline;
+    return n;
+  }
+
+  bool step() {
+    while (!heap_.empty()) {
+      HeapEntry top = heap_.top();
+      heap_.pop();
+      if (top.state->cancelled) continue;
+      RRTCP_ASSERT(top.at >= now_);
+      now_ = top.at;
+      std::function<void()> fn = std::move(top.state->fn);
+      top.state->cancelled = true;
+      ++executed_;
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  void stop() { stopped_ = true; }
+
+  std::size_t pending_events() const { return heap_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct HeapEntry {
+    Time at;
+    std::uint64_t seq;
+    std::shared_ptr<legacy_detail::EventState> state;
+    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<HeapEntry> heap_;
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace rrtcp::sim

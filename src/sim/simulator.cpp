@@ -1,54 +1,105 @@
 #include "sim/simulator.hpp"
 
-#include <utility>
-
-#include "sim/assert.hpp"
+#include <memory>
 
 namespace rrtcp::sim {
 
-EventHandle Simulator::schedule_at(Time at, EventFn fn) {
-  RRTCP_ASSERT_MSG(at >= now_, "cannot schedule an event in the past");
-  RRTCP_ASSERT_MSG(static_cast<bool>(fn), "event callable must be non-empty");
-  auto state = std::make_shared<detail::EventState>();
-  state->fn = std::move(fn);
-  EventHandle handle{state};
-  heap_.push(HeapEntry{at, next_seq_++, std::move(state)});
-  return handle;
+void Simulator::grow_pool() {
+  // Grow the pool by one chunk. Chunks are stable in memory (never moved
+  // or released), so EventNode references held across callback-triggered
+  // scheduling stay valid; the chunk directory and free list reserve up
+  // front so steady-state alloc/free touches no allocator at all.
+  const std::uint32_t base =
+      static_cast<std::uint32_t>(chunks_.size() * kChunkSize);
+  chunks_.push_back(std::make_unique<detail::EventNode[]>(kChunkSize));
+  free_.reserve(chunks_.size() * kChunkSize);
+  // Push in reverse so slots hand out in ascending index order.
+  for (std::size_t i = kChunkSize; i-- > 0;)
+    free_.push_back(base + static_cast<std::uint32_t>(i));
+}
+
+bool Simulator::cancel_event(std::uint32_t slot, std::uint64_t seq) {
+  if (seq == 0) return false;
+  detail::EventNode& n = node(slot);
+  if (n.seq != seq) return false;  // already fired, cancelled, or recycled
+  n.fn.reset();  // release captured resources eagerly
+  n.seq = 0;
+  // The slot is reusable immediately: its heap entry still carries the old
+  // seq and is recognized as stale when it reaches the top.
+  free_slot(slot);
+  return true;
+}
+
+void Simulator::heap_pop_top() {
+  const HeapEntry moved = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (before(heap_[c], heap_[best])) best = c;
+    if (!before(heap_[best], moved)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moved;
+}
+
+bool Simulator::heap_settle_top() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_[0];
+    if (node(top.slot).seq == top.seq) return true;
+    heap_pop_top();  // stale: the event was cancelled (slot maybe recycled)
+  }
+  return false;
+}
+
+void Simulator::fire_top() {
+  const HeapEntry top = heap_[0];
+  heap_pop_top();
+  detail::EventNode& n = node(top.slot);
+  RRTCP_ASSERT(top.at >= now_);
+  now_ = top.at;
+  // Consume the occupancy before invoking so the handle reports "not
+  // pending" and a self-cancel inside the callback is a no-op. The slot
+  // returns to the free list only after the callback finishes — its
+  // captures live in the slot's inline buffer.
+  n.seq = 0;
+  ++executed_;
+  n.fn.consume();
+  free_slot(top.slot);
 }
 
 bool Simulator::step() {
   // Entries cancelled after insertion are discarded lazily here.
-  while (!heap_.empty()) {
-    HeapEntry top = heap_.top();
-    heap_.pop();
-    if (top.state->cancelled) continue;
-    RRTCP_ASSERT(top.at >= now_);
-    now_ = top.at;
-    EventFn fn = std::move(top.state->fn);
-    top.state->cancelled = true;  // handle now reports "not pending"
-    ++executed_;
-    fn();
-    return true;
-  }
-  return false;
+  if (!heap_settle_top()) return false;
+  fire_top();
+  return true;
 }
 
 std::uint64_t Simulator::run() {
   stopped_ = false;
   std::uint64_t n = 0;
-  while (!stopped_ && step()) ++n;
+  while (!stopped_ && heap_settle_top()) {
+    fire_top();
+    ++n;
+  }
   return n;
 }
 
 std::uint64_t Simulator::run_until(Time deadline) {
   stopped_ = false;
   std::uint64_t n = 0;
-  while (!stopped_) {
+  while (!stopped_ && heap_settle_top()) {
     // Peek at the next live event without executing it.
-    while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
-    if (heap_.empty()) break;
-    if (heap_.top().at > deadline) break;
-    if (step()) ++n;
+    if (heap_[0].at > deadline) break;
+    fire_top();
+    ++n;
   }
   // Only a run that exhausted the work up to `deadline` advances the clock
   // there; a stopped run leaves now_ at the stopping event's time so the

@@ -1,59 +1,88 @@
 // Discrete-event simulation engine.
 //
-// The Simulator owns a binary-heap event queue keyed by (time, insertion
-// sequence): events scheduled for the same instant execute in the order they
-// were scheduled, which makes every run deterministic. Events are arbitrary
-// callables; cancellation is supported through EventHandle without removing
-// entries from the heap (lazy deletion).
+// The Simulator keys its event queue by (time, insertion sequence): events
+// scheduled for the same instant execute in the order they were scheduled,
+// which makes every run deterministic. Events are arbitrary callables;
+// cancellation is supported through EventHandle without removing entries
+// from the heap (lazy deletion).
+//
+// Hot-path design (see DESIGN.md §11):
+//
+//  * Event callables live in pooled, chunk-allocated slots with a fixed
+//    inline capture buffer (sim/small_fn.hpp) sized for the largest
+//    forwarding-path lambda (a Link delivery capturing a full Packet).
+//    Slots are recycled through a free list, so steady-state scheduling
+//    performs zero allocations; only captures larger than
+//    kEventInlineBytes fall back to the heap, and that fallback is
+//    counted (callback_heap_fallbacks()).
+//  * The priority queue is an implicit 4-ary min-heap over 24-byte
+//    (time, seq, slot) entries — shallower than a binary heap and with
+//    all child comparisons inside one or two cache lines, no per-entry
+//    ownership or pointer chasing.
+//  * A slot's occupancy is identified by the event's unique insertion
+//    sequence number, so stale heap entries (cancelled events whose slot
+//    was already recycled) are recognized and skipped on pop without any
+//    generation-counter wraparound hazard.
+//
+// The pre-pool engine is preserved in sim/legacy_scheduler.hpp; the
+// scheduler-equivalence test pins the two to byte-identical execution
+// traces.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/assert.hpp"
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace rrtcp::sim {
 
+// Convenience alias for storable event callbacks (the scheduler itself
+// accepts any callable, not just std::function).
 using EventFn = std::function<void()>;
 
+// Inline capture budget per pooled event. Sized for the largest hot-path
+// lambda: a chaos-injector delay capture of {this, Packet, bool} (~144
+// bytes); Link's delivery capture {this, Packet} (~136 bytes) fits too.
+// Call sites on the forwarding path static_assert that they stay inside
+// this budget, so "allocation-free forwarding" is a compile-time property.
+inline constexpr std::size_t kEventInlineBytes = 160;
+
 namespace detail {
-struct EventState {
-  EventFn fn;
-  bool cancelled = false;
+struct EventNode {
+  SmallFn<kEventInlineBytes> fn;
+  // Insertion sequence of the occupying event; 0 = slot free (or the
+  // event was cancelled/fired and the slot is back on the free list).
+  std::uint64_t seq = 0;
 };
 }  // namespace detail
 
+class Simulator;
+
 // A cheap, copyable handle to a scheduled event. A default-constructed
 // handle refers to no event. Cancelling an already-fired or already-
-// cancelled event is a harmless no-op.
+// cancelled event is a harmless no-op. Handles must not outlive the
+// Simulator that issued them.
 class EventHandle {
  public:
   EventHandle() = default;
 
   // Returns true if the event was pending and is now cancelled.
-  bool cancel() {
-    if (auto st = state_.lock(); st && !st->cancelled) {
-      st->cancelled = true;
-      st->fn = nullptr;  // release captured resources eagerly
-      return true;
-    }
-    return false;
-  }
+  bool cancel();
 
   // True while the event is still waiting to fire.
-  bool pending() const {
-    auto st = state_.lock();
-    return st && !st->cancelled;
-  }
+  bool pending() const;
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::weak_ptr<detail::EventState> st)
-      : state_{std::move(st)} {}
-  std::weak_ptr<detail::EventState> state_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint64_t seq)
+      : sim_{sim}, slot_{slot}, seq_{seq} {}
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t seq_ = 0;
 };
 
 class Simulator {
@@ -65,12 +94,33 @@ class Simulator {
   // Current simulation time. Monotonically non-decreasing.
   Time now() const { return now_; }
 
+  // True when a callable of type F schedules without touching the heap
+  // allocator — the compile-time check behind allocation-free forwarding.
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return SmallFn<kEventInlineBytes>::template fits_inline<F>();
+  }
+
   // Schedule `fn` to run at absolute time `at` (must be >= now()).
-  EventHandle schedule_at(Time at, EventFn fn);
+  template <typename F>
+  EventHandle schedule_at(Time at, F&& fn) {
+    RRTCP_ASSERT_MSG(at >= now_, "cannot schedule an event in the past");
+    if constexpr (requires { static_cast<bool>(fn); }) {
+      RRTCP_ASSERT_MSG(static_cast<bool>(fn),
+                       "event callable must be non-empty");
+    }
+    const std::uint32_t slot = alloc_slot();
+    detail::EventNode& n = node(slot);
+    if (!n.fn.emplace(std::forward<F>(fn))) ++fallback_allocs_;
+    n.seq = ++last_seq_;
+    heap_push(HeapEntry{at, n.seq, slot});
+    return EventHandle{this, slot, n.seq};
+  }
 
   // Schedule `fn` to run `delay` from now (delay must be >= 0).
-  EventHandle schedule_in(Time delay, EventFn fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  EventHandle schedule_in(Time delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   // Run until the event queue drains or stop() is called.
@@ -94,23 +144,89 @@ class Simulator {
 
   std::uint64_t events_executed() const { return executed_; }
 
+  // Pool introspection (perf harness / allocation-regression tests).
+  // Total pooled event slots ever created (the pool never shrinks).
+  std::size_t event_pool_slots() const { return chunks_.size() * kChunkSize; }
+  // Events whose capture exceeded kEventInlineBytes and hit the heap.
+  std::uint64_t callback_heap_fallbacks() const { return fallback_allocs_; }
+
  private:
+  friend class EventHandle;
+
   struct HeapEntry {
     Time at;
     std::uint64_t seq;
-    std::shared_ptr<detail::EventState> state;
-    // Min-heap on (at, seq) via std::priority_queue's max-heap comparator.
-    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
   };
 
-  std::priority_queue<HeapEntry> heap_;
+  // Min-order on (at, seq): FIFO among events at the same instant.
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  static constexpr std::size_t kChunkShift = 9;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+  detail::EventNode& node(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+  const detail::EventNode& node(std::uint32_t slot) const {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  // Slot alloc/free and heap_push are the per-schedule fast path; they are
+  // defined inline (below the class) so schedule_at() — itself a template
+  // instantiated at every call site — compiles down to straight-line code
+  // with no out-of-line calls except when the pool has to grow.
+  std::uint32_t alloc_slot() {
+    if (free_.empty()) grow_pool();
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  void free_slot(std::uint32_t slot) { free_.push_back(slot); }
+  void grow_pool();
+
+  bool cancel_event(std::uint32_t slot, std::uint64_t seq);
+  bool event_pending(std::uint32_t slot, std::uint64_t seq) const {
+    return seq != 0 && node(slot).seq == seq;
+  }
+
+  void heap_push(HeapEntry e) {
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+  void heap_pop_top();
+  // Drops stale (cancelled) entries off the top; true if a live top remains.
+  bool heap_settle_top();
+  // Executes heap_[0]; caller must have settled the top first.
+  void fire_top();
+
+  std::vector<HeapEntry> heap_;
+  std::vector<std::unique_ptr<detail::EventNode[]>> chunks_;
+  std::vector<std::uint32_t> free_;
+
   Time now_ = Time::zero();
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t last_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t fallback_allocs_ = 0;
   bool stopped_ = false;
 };
+
+inline bool EventHandle::cancel() {
+  return sim_ != nullptr && sim_->cancel_event(slot_, seq_);
+}
+
+inline bool EventHandle::pending() const {
+  return sim_ != nullptr && sim_->event_pending(slot_, seq_);
+}
 
 }  // namespace rrtcp::sim

@@ -1,0 +1,102 @@
+// Inline-storage callable for the event pool.
+//
+// std::function heap-allocates any capture larger than its ~2-pointer SBO,
+// which puts one malloc/free pair on every scheduled link delivery (the
+// lambda captures a full ~128-byte Packet by value). SmallFn instead gives
+// every pooled event node a fixed inline buffer sized for the largest
+// hot-path capture; only pathologically large captures fall back to the
+// heap, and that fallback is counted so the perf harness can assert it
+// never happens on the forwarding path.
+//
+// SmallFn is deliberately neither copyable nor movable: instances live in
+// stable pool slots (sim/simulator.hpp) and are emplaced/reset in place.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rrtcp::sim {
+
+template <std::size_t InlineBytes>
+class SmallFn {
+ public:
+  SmallFn() = default;
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  // True when a decayed `F` stores in the inline buffer (no allocation).
+  template <typename F>
+  static constexpr bool fits_inline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= InlineBytes && alignof(D) <= alignof(std::max_align_t);
+  }
+
+  // Installs a new callable, destroying any previous one. Returns true if
+  // the callable was stored inline (false = heap fallback).
+  template <typename F>
+  bool emplace(F&& fn) {
+    reset();
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<F>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      consume_ = [](SmallFn* self) {
+        D* t = self->inline_target<D>();
+        (*t)();
+        t->~D();
+      };
+      destroy_ = [](SmallFn* self) { self->inline_target<D>()->~D(); };
+      return true;
+    } else {
+      heap_ = new D(std::forward<F>(fn));
+      consume_ = [](SmallFn* self) {
+        D* t = static_cast<D*>(self->heap_);
+        (*t)();
+        delete t;
+      };
+      destroy_ = [](SmallFn* self) { delete static_cast<D*>(self->heap_); };
+      return false;
+    }
+  }
+
+  // Destroys the stored callable (releasing captured resources eagerly).
+  void reset() {
+    if (destroy_ != nullptr) {
+      destroy_(this);
+      destroy_ = nullptr;
+      consume_ = nullptr;
+      heap_ = nullptr;
+    }
+  }
+
+  // Invokes the stored callable and destroys it afterwards — one indirect
+  // call instead of operator() + reset(). An event fires exactly once, so
+  // the scheduler's hot path never needs invoke and destroy separately.
+  // The callable must not touch this SmallFn re-entrantly (the scheduler
+  // guarantees that: the slot's seq is consumed before the call, so a
+  // self-cancel is a no-op and the slot cannot be re-emplaced mid-call).
+  void consume() {
+    auto f = consume_;
+    consume_ = nullptr;
+    destroy_ = nullptr;
+    f(this);
+    heap_ = nullptr;
+  }
+
+  explicit operator bool() const { return consume_ != nullptr; }
+
+ private:
+  template <typename D>
+  D* inline_target() {
+    return std::launder(reinterpret_cast<D*>(buf_));
+  }
+
+  void (*consume_)(SmallFn*) = nullptr;
+  void (*destroy_)(SmallFn*) = nullptr;
+  void* heap_ = nullptr;  // non-null only for oversized callables
+  alignas(std::max_align_t) unsigned char buf_[InlineBytes];
+};
+
+}  // namespace rrtcp::sim

@@ -28,7 +28,7 @@ ChaosSoakOptions small_soak(int schedules) {
 }
 
 std::string run_soak_csv(const ChaosSoakOptions& opts, int threads) {
-  const std::vector<ScenarioSpec> jobs = make_chaos_jobs(opts, /*seed=*/1);
+  const std::vector<SweepJob> jobs = make_chaos_jobs(opts, /*seed=*/1);
   ResultSink sink{jobs.size()};
   SweepOptions sweep;
   sweep.threads = threads;
@@ -39,7 +39,7 @@ std::string run_soak_csv(const ChaosSoakOptions& opts, int threads) {
 
 TEST(ChaosSoak, HealthyVariantsDegradeGracefully) {
   const ChaosSoakOptions opts = small_soak(6);
-  const std::vector<ScenarioSpec> jobs = make_chaos_jobs(opts, /*seed=*/1);
+  const std::vector<SweepJob> jobs = make_chaos_jobs(opts, /*seed=*/1);
   ResultSink sink{jobs.size()};
   SweepOptions sweep;
   sweep.base_seed = 1;
@@ -62,7 +62,7 @@ TEST(ChaosSoak, CsvIsByteIdenticalAcrossThreadCounts) {
 
 TEST(ChaosSoak, VariantsOfOneScheduleShareThePlan) {
   const ChaosSoakOptions opts = small_soak(2);
-  const std::vector<ScenarioSpec> jobs = make_chaos_jobs(opts, /*seed=*/1);
+  const std::vector<SweepJob> jobs = make_chaos_jobs(opts, /*seed=*/1);
   ResultSink sink{jobs.size()};
   SweepOptions sweep;
   sweep.base_seed = 1;

@@ -43,8 +43,8 @@ TEST(ResolveThreads, RequestedBeatsEnvAndFloorsAtOne) {
 // A grid of jobs that actually exercises the simulator and the per-job
 // seed: each job runs a tiny event loop whose outcome depends on ctx.seed,
 // with deliberately uneven amounts of work so completions interleave.
-std::vector<ScenarioSpec> make_jobs(std::size_t n) {
-  std::vector<ScenarioSpec> jobs;
+std::vector<SweepJob> make_jobs(std::size_t n) {
+  std::vector<SweepJob> jobs;
   for (std::size_t j = 0; j < n; ++j) {
     jobs.push_back({"job=" + std::to_string(j), [j](const JobContext& ctx) {
                       sim::Simulator s;
@@ -114,7 +114,7 @@ TEST(RunSweep, SeedsFollowBaseSeedNotThreadSchedule) {
 }
 
 TEST(RunSweep, ThrowingJobYieldsErrorRecordAndSweepContinues) {
-  std::vector<ScenarioSpec> jobs = make_jobs(3);
+  std::vector<SweepJob> jobs = make_jobs(3);
   jobs.insert(jobs.begin() + 1,
               {"boom", [](const JobContext&) -> Record {
                  throw std::runtime_error("scenario exploded");

@@ -24,8 +24,8 @@ namespace {
 
 // One job = one fully audited mini-experiment: RR over the dumbbell with
 // seed-dependent random loss, recording violations and final progress.
-std::vector<ScenarioSpec> make_audited_jobs(std::size_t n) {
-  std::vector<ScenarioSpec> jobs;
+std::vector<SweepJob> make_audited_jobs(std::size_t n) {
+  std::vector<SweepJob> jobs;
   for (std::size_t j = 0; j < n; ++j) {
     jobs.push_back(
         {"audited=" + std::to_string(j), [](const JobContext& ctx) {
