@@ -90,6 +90,7 @@ void print_table(const char* title, const std::vector<Knobs>& grid,
 int main(int argc, char** argv) {
   using namespace rrtcp::bench;
   const auto cli = rrtcp::harness::SweepCli::parse(argc, argv);
+  if (handle_list_variants(cli)) return 0;
 
   // Workload A: a 3-packet burst inside a large (slow-start-overshoot)
   // window. With the naive rtx-first ordering, ndup systematically

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "app/sender_factory.hpp"
 #include "harness/scenario.hpp"
 #include "harness/sweep.hpp"
 #include "net/drop_tail.hpp"
@@ -26,6 +27,15 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("%s\n", title);
   std::printf("reproduces: %s\n", paper_ref);
   std::printf("================================================================\n");
+}
+
+// Shared --list-variants handling: when the CLI asked for the registry,
+// print it and tell the caller to exit (the harness itself cannot — it
+// does not link the app layer).
+inline bool handle_list_variants(const harness::SweepCli& cli) {
+  if (!cli.list_variants) return false;
+  app::SenderFactory::instance().print_registry(stdout);
+  return true;
 }
 
 }  // namespace rrtcp::bench

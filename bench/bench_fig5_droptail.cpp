@@ -123,6 +123,7 @@ int main(int argc, char** argv) {
   using namespace rrtcp::bench;
   namespace app = rrtcp::app;
   const auto cli = rrtcp::harness::SweepCli::parse(argc, argv);
+  if (handle_list_variants(cli)) return 0;
 
   // The grid: burst size x variant. Scenarios are fully deterministic
   // (injected loss lists, no RNG), so the per-job seed is unused.

@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
   using namespace rrtcp::bench;
   using rrtcp::app::Variant;
   const auto cli = rrtcp::harness::SweepCli::parse(argc, argv);
+  if (handle_list_variants(cli)) return 0;
 
   const Variant panel[] = {Variant::kNewReno, Variant::kSack, Variant::kRr,
                            Variant::kTahoe};

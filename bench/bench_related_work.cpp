@@ -104,6 +104,7 @@ int main(int argc, char** argv) {
   using namespace rrtcp::bench;
   namespace app = rrtcp::app;
   const auto cli = rrtcp::harness::SweepCli::parse(argc, argv);
+  if (handle_list_variants(cli)) return 0;
 
   // Grid: burst=3 x schemes, burst=6 x schemes, reordering x schemes.
   // All three scenarios are deterministic given their fixed model seeds,

@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
   using rrtcp::app::Variant;
   namespace sim = rrtcp::sim;
   const auto cli = rrtcp::harness::SweepCli::parse(argc, argv);
+  if (handle_list_variants(cli)) return 0;
 
   struct Case {
     int id;

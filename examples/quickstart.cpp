@@ -2,14 +2,17 @@
 //
 // Builds the Table-3 topology (0.8 Mbps / 100 ms bottleneck, drop-tail
 // buffer of 8 packets), runs a single RR flow for 20 simulated seconds,
-// and prints what happened. Run with --verbose for a per-event trace, or
-// with a variant name (tahoe|reno|newreno|sack|rr) to compare.
+// and prints what happened. Run with --verbose for a per-event trace,
+// with a variant name (see --list-variants) to compare, or with
+// --list-variants to print the sender registry and exit.
 //
 // The whole experiment is one declarative ScenarioSpec — see
 // src/harness/scenario.hpp for everything a spec can express.
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 
+#include "app/sender_factory.hpp"
 #include "harness/scenario.hpp"
 #include "sim/log.hpp"
 
@@ -20,8 +23,17 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--verbose") == 0) {
       sim::Log::set_level(sim::LogLevel::kDebug);
+    } else if (std::strcmp(argv[i], "--list-variants") == 0) {
+      app::SenderFactory::instance().print_registry(stdout);
+      return 0;
     } else {
-      variant = app::variant_from_string(argv[i]);
+      try {
+        variant = app::variant_from_string(argv[i]);
+      } catch (const std::invalid_argument&) {
+        std::fprintf(stderr, "unknown variant '%s'\n", argv[i]);
+        app::SenderFactory::instance().print_registry(stderr);
+        return 2;
+      }
     }
   }
 

@@ -58,6 +58,15 @@ std::unique_ptr<tcp::TcpSenderBase> SenderFactory::make(
   return at(v).make(sim, snd_node, flow, dst, cfg);
 }
 
+void SenderFactory::print_registry(std::FILE* out) const {
+  std::fprintf(out, "registered TCP sender variants:\n");
+  for (std::size_t i = 0; i < kVariantCount; ++i) {
+    if (entries_[i].name == nullptr) continue;
+    std::fprintf(out, "  %-10s (%s receiver)\n", entries_[i].name,
+                 entries_[i].sack_receiver ? "SACK" : "cumulative-ACK");
+  }
+}
+
 Variant SenderFactory::parse(std::string_view name) const {
   for (std::size_t i = 0; i < kVariantCount; ++i) {
     if (entries_[i].name != nullptr && name == entries_[i].name)

@@ -8,6 +8,7 @@
 // entry — not editing a switch in every driver.
 #pragma once
 
+#include <cstdio>
 #include <memory>
 #include <string_view>
 
@@ -47,6 +48,9 @@ class SenderFactory {
                                            const tcp::TcpConfig& cfg) const;
 
   const char* name_of(Variant v) const { return at(v).name; }
+  // One line per registered variant (canonical name + receiver pairing):
+  // the CLIs' --list-variants output.
+  void print_registry(std::FILE* out) const;
   // Parses a canonical name (case-sensitive); throws std::invalid_argument
   // for anything not in the registry.
   Variant parse(std::string_view name) const;

@@ -54,6 +54,16 @@ void Instrumentation::attach_topology(net::DumbbellTopology& topo) {
   if (recording_) recording_->attach_topology(topo);
 }
 
+void Instrumentation::attach_queues(topo::TopologyGraph& graph,
+                                    const std::vector<int>& links) {
+  for (int l : links) {
+    const char* name = graph.spec().links.at(static_cast<std::size_t>(l))
+                           .name.c_str();
+    if (gated_) gated_->attach_queue(graph.link(l).queue(), name);
+    if (recording_) recording_->attach_queue(graph.link(l).queue(), name);
+  }
+}
+
 std::size_t Instrumentation::audit_violations() const {
   return recording_ ? recording_->total_violations() : 0;
 }

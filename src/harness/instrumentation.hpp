@@ -29,6 +29,7 @@
 #include "chaos/watchdog.hpp"
 #include "net/dumbbell.hpp"
 #include "sim/simulator.hpp"
+#include "topo/graph.hpp"
 #include "stats/throughput.hpp"
 #include "stats/tracer.hpp"
 
@@ -71,6 +72,12 @@ class Instrumentation {
 
   // Queue/topology-level audit checks (conservation, capacity). Call once.
   void attach_topology(net::DumbbellTopology& topo);
+
+  // Graph-mode equivalent: audit the queues of the listed links, labeled
+  // with the links' names (owned by the graph, which must outlive this).
+  // Call once.
+  void attach_queues(topo::TopologyGraph& graph,
+                     const std::vector<int>& links);
 
   // Tracers of the i-th attached flow, in attach() order.
   FlowInstruments& flow(std::size_t i) { return *flows_.at(i); }

@@ -1,52 +1,174 @@
 #include "harness/scenario.hpp"
 
+#include <string>
+#include <utility>
+
 #include "app/flow_factory.hpp"
+#include "harness/sweep.hpp"
 #include "net/drop_tail.hpp"
 #include "sim/assert.hpp"
 
 namespace rrtcp::harness {
 
+namespace {
+
+// Translates a QueueSpec into the sim-capturing factory DumbbellConfig
+// wants. `red_out`, when the spec picks RED, receives the built queue.
+std::function<std::unique_ptr<net::QueueDisc>()> make_queue_factory(
+    const QueueSpec& qs, sim::Simulator& sim, std::uint64_t seed,
+    net::RedQueue** red_out) {
+  switch (qs.kind) {
+    case QueueSpec::Kind::kDropTail:
+      return [cap = qs.capacity_packets] {
+        return std::make_unique<net::DropTailQueue>(cap);
+      };
+    case QueueSpec::Kind::kRed:
+      return [&sim, rc = qs.red, seed, red_out]() mutable {
+        rc.seed = seed;
+        auto q = std::make_unique<net::RedQueue>(sim, rc);
+        if (red_out) *red_out = q.get();
+        return q;
+      };
+  }
+  RRTCP_ASSERT_MSG(false, "unreachable");
+  return {};
+}
+
+}  // namespace
+
 Scenario::Scenario(ScenarioSpec spec) : spec_{std::move(spec)} {
   RRTCP_ASSERT_MSG(!spec_.flows.empty(), "scenario needs at least one flow");
 
-  net::DumbbellConfig netcfg = spec_.topology;
-  netcfg.n_flows = static_cast<int>(spec_.flows.size());
-  switch (spec_.bottleneck.kind) {
-    case QueueSpec::Kind::kDropTail:
-      netcfg.make_bottleneck_queue = [cap = spec_.bottleneck.capacity_packets] {
-        return std::make_unique<net::DropTailQueue>(cap);
-      };
-      break;
-    case QueueSpec::Kind::kRed:
-      netcfg.make_bottleneck_queue = [this] {
-        net::RedConfig rc = spec_.bottleneck.red;
-        rc.seed = spec_.seed;
-        auto q = std::make_unique<net::RedQueue>(sim_, rc);
-        red_ = q.get();
-        return q;
-      };
-      break;
+  if (spec_.graph.empty()) {
+    build_dumbbell();
+  } else {
+    build_graph();
   }
-  topo_ = std::make_unique<net::DumbbellTopology>(sim_, netcfg);
 
-  flows_.reserve(spec_.flows.size());
+  // Traffic sources (FTP or ON/OFF), one per flow. ON/OFF sources derive
+  // their RNG stream from the scenario seed and the flow index, so adding
+  // or reordering other stochastic components never perturbs them.
+  sources_.reserve(spec_.flows.size());
+  onoffs_.reserve(spec_.flows.size());
   for (std::size_t i = 0; i < spec_.flows.size(); ++i) {
     const FlowSpec& fs = spec_.flows[i];
-    flows_.push_back(app::make_flow(
-        fs.variant, sim_, topo_->sender_node(static_cast<int>(i)),
-        topo_->receiver_node(static_cast<int>(i)),
-        static_cast<net::FlowId>(i + 1), fs.tcp));
-  }
-
-  sources_.reserve(spec_.flows.size());
-  for (std::size_t i = 0; i < spec_.flows.size(); ++i) {
-    sources_.push_back(std::make_unique<app::FtpSource>(
-        sim_, *flows_[i].sender, spec_.flows[i].start, spec_.flows[i].bytes));
+    if (fs.onoff) {
+      traffic::OnOffConfig oc = *fs.onoff;
+      oc.start = fs.start;
+      sources_.push_back(nullptr);
+      onoffs_.push_back(std::make_unique<traffic::OnOffSource>(
+          sim_, *flows_[i].sender, oc, spec_.seed,
+          "onoff/" + std::to_string(i)));
+    } else {
+      sources_.push_back(std::make_unique<app::FtpSource>(
+          sim_, *flows_[i].sender, fs.start, fs.bytes));
+      onoffs_.push_back(nullptr);
+    }
   }
 
   instrumentation_ = std::make_unique<Instrumentation>(sim_, spec_.instruments);
   for (app::Flow& f : flows_) instrumentation_->attach(f);
-  instrumentation_->attach_topology(*topo_);
+  if (topo_) {
+    instrumentation_->attach_topology(*topo_);
+  } else {
+    instrumentation_->attach_queues(*graph_, spec_.audited_links);
+  }
+}
+
+void Scenario::build_dumbbell() {
+  // CBR streams ride extra host pairs appended after the TCP flows', so
+  // a spec without cross-traffic builds the exact seed topology.
+  const int n_tcp = static_cast<int>(spec_.flows.size());
+  const int n_cbr = static_cast<int>(spec_.cross_traffic.size());
+
+  net::DumbbellConfig netcfg = spec_.topology;
+  netcfg.n_flows = n_tcp + n_cbr;
+  netcfg.make_bottleneck_queue =
+      make_queue_factory(spec_.bottleneck, sim_, spec_.seed, &red_);
+  if (spec_.reverse_bottleneck) {
+    // A distinct derived seed keeps a reverse RED queue's drop RNG
+    // independent of the forward one's.
+    netcfg.make_reverse_queue =
+        make_queue_factory(*spec_.reverse_bottleneck, sim_,
+                           derive_seed(spec_.seed, 1), &reverse_red_);
+  }
+  topo_ = std::make_unique<net::DumbbellTopology>(sim_, netcfg);
+
+  flows_.reserve(spec_.flows.size());
+  for (int i = 0; i < n_tcp; ++i) {
+    const FlowSpec& fs = spec_.flows[static_cast<std::size_t>(i)];
+    net::Node& snd = fs.reverse ? topo_->receiver_node(i)
+                                : topo_->sender_node(i);
+    net::Node& rcv = fs.reverse ? topo_->sender_node(i)
+                                : topo_->receiver_node(i);
+    flows_.push_back(app::make_flow(fs.variant, sim_, snd, rcv,
+                                    static_cast<net::FlowId>(i + 1),
+                                    fs.tcp));
+  }
+
+  const std::int64_t rev_bps = netcfg.reverse_bps > 0
+                                   ? netcfg.reverse_bps
+                                   : netcfg.bottleneck_bps;
+  for (int j = 0; j < n_cbr; ++j) {
+    const CbrSpec& cs = spec_.cross_traffic[static_cast<std::size_t>(j)];
+    const int pair = n_tcp + j;
+    net::Node& src = cs.reverse ? topo_->receiver_node(pair)
+                                : topo_->sender_node(pair);
+    net::Node& dst = cs.reverse ? topo_->sender_node(pair)
+                                : topo_->receiver_node(pair);
+    traffic::CbrConfig cc;
+    cc.rate_bps = cs.load_fraction > 0
+                      ? static_cast<std::int64_t>(
+                            cs.load_fraction *
+                            static_cast<double>(cs.reverse
+                                                    ? rev_bps
+                                                    : netcfg.bottleneck_bps))
+                      : cs.rate_bps;
+    cc.packet_bytes = cs.packet_bytes;
+    cc.start = cs.start;
+    cc.stop = cs.stop;
+    const auto flow_id = static_cast<net::FlowId>(n_tcp + j + 1);
+    cbr_sinks_.push_back(std::make_unique<traffic::CbrSink>(dst, flow_id));
+    cbr_sources_.push_back(std::make_unique<traffic::CbrSource>(
+        sim_, src, flow_id, dst.id(), cc));
+  }
+}
+
+void Scenario::build_graph() {
+  // The GraphSpec carries its own per-link queue factories, so
+  // spec_.bottleneck / spec_.reverse_bottleneck do not apply here.
+  graph_ = std::make_unique<topo::TopologyGraph>(sim_, spec_.graph);
+
+  flows_.reserve(spec_.flows.size());
+  for (std::size_t i = 0; i < spec_.flows.size(); ++i) {
+    const FlowSpec& fs = spec_.flows[i];
+    RRTCP_ASSERT_MSG(fs.src_node >= 0 && fs.dst_node >= 0,
+                     "graph-mode flows need src_node/dst_node");
+    flows_.push_back(app::make_flow(
+        fs.variant, sim_, graph_->node(fs.src_node),
+        graph_->node(fs.dst_node), static_cast<net::FlowId>(i + 1),
+        fs.tcp));
+  }
+
+  for (std::size_t j = 0; j < spec_.cross_traffic.size(); ++j) {
+    const CbrSpec& cs = spec_.cross_traffic[j];
+    RRTCP_ASSERT_MSG(cs.src_node >= 0 && cs.dst_node >= 0,
+                     "graph-mode CBR streams need src_node/dst_node");
+    RRTCP_ASSERT_MSG(cs.rate_bps > 0,
+                     "graph-mode CBR streams need an explicit rate_bps");
+    traffic::CbrConfig cc;
+    cc.rate_bps = cs.rate_bps;
+    cc.packet_bytes = cs.packet_bytes;
+    cc.start = cs.start;
+    cc.stop = cs.stop;
+    const auto flow_id =
+        static_cast<net::FlowId>(spec_.flows.size() + j + 1);
+    cbr_sinks_.push_back(std::make_unique<traffic::CbrSink>(
+        graph_->node(cs.dst_node), flow_id));
+    cbr_sources_.push_back(std::make_unique<traffic::CbrSource>(
+        sim_, graph_->node(cs.src_node), flow_id,
+        graph_->node(cs.dst_node).id(), cc));
+  }
 }
 
 }  // namespace rrtcp::harness

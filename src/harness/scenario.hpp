@@ -1,9 +1,9 @@
 // Declarative scenario description + runner.
 //
-// A ScenarioSpec is a plain value: dumbbell topology, bottleneck queue
-// choice, the list of flows (variant, start time, transfer size, TCP
-// config), instrumentation options, a seed and a horizon. Because it is
-// data, a spec can be built once and handed to a sweep job, mutated per
+// A ScenarioSpec is a plain value: topology, bottleneck queue choice, the
+// list of flows (variant, start time, transfer size, TCP config), optional
+// cross-traffic, instrumentation options, a seed and a horizon. Because it
+// is data, a spec can be built once and handed to a sweep job, mutated per
 // grid point, or printed; the imperative build-everything-by-hand dance
 // the bench binaries used to repeat lives in ONE place, the Scenario
 // constructor.
@@ -18,9 +18,20 @@
 //   sc.run();
 //   ... sc.instruments(0).meter->throughput_bps(...) ...
 //
+// Two topology modes:
+//   Dumbbell (default, spec.graph empty) — the paper's Figure 4 around
+//   spec.topology; flows are placed on consecutive host pairs. The reverse
+//   bottleneck is first-class: spec.reverse_bottleneck picks its queue, and
+//   FlowSpec.reverse / CbrSpec.reverse place load on the ACK path.
+//   Graph (spec.graph non-empty) — any topo::GraphSpec (parking lot, N x M
+//   dumbbell, hand-built). Flows and CBR streams name their src/dst node
+//   indices; spec.audited_links lists the link queues the audit layer
+//   watches. Queue disciplines ride inside the GraphSpec's per-link
+//   factories, so spec.bottleneck is ignored in this mode.
+//
 // Member order in Scenario is its teardown contract: instrumentation
-// detaches first, then sources stop, then flows die, then the topology,
-// then the simulator.
+// detaches first, then traffic sources stop, then flows die, then the
+// topology, then the simulator.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +47,9 @@
 #include "net/red.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/types.hpp"
+#include "topo/graph.hpp"
+#include "traffic/cbr.hpp"
+#include "traffic/onoff.hpp"
 
 namespace rrtcp::harness {
 
@@ -65,21 +79,60 @@ struct QueueSpec {
 struct FlowSpec {
   app::Variant variant = app::Variant::kRr;
   sim::Time start = sim::Time::zero();
-  // Transfer size; nullopt = unbounded FTP.
+  // Transfer size; nullopt = unbounded FTP. Ignored when `onoff` is set.
   std::optional<std::uint64_t> bytes = std::nullopt;
   tcp::TcpConfig tcp = {};
+  // Dumbbell mode: run this flow K_i -> S_i instead of S_i -> K_i, so its
+  // DATA crosses the reverse bottleneck and its ACKs the forward one — the
+  // reverse-path bulk flow that queues/compresses the other flows' ACKs.
+  bool reverse = false;
+  // Web-like ON/OFF source instead of FTP; `start` below overrides the
+  // embedded OnOffConfig::start.
+  std::optional<traffic::OnOffConfig> onoff = std::nullopt;
+  // Graph mode: endpoint node indices into the GraphSpec (required there,
+  // ignored in dumbbell mode).
+  int src_node = -1;
+  int dst_node = -1;
+};
+
+// Unresponsive constant-bit-rate cross-traffic stream. In dumbbell mode it
+// gets its own host pair (forward: extra S -> K across the bottleneck;
+// reverse = true: K -> S across the ACK path). In graph mode it runs
+// src_node -> dst_node and rate_bps must be set explicitly.
+struct CbrSpec {
+  std::int64_t rate_bps = 0;   // absolute rate, bits/s
+  // Dumbbell-mode convenience: when > 0, rate = fraction x the crossed
+  // bottleneck's bandwidth (forward or reverse as placed); wins over
+  // rate_bps.
+  double load_fraction = 0.0;
+  std::uint32_t packet_bytes = 1'000;
+  sim::Time start = sim::Time::zero();
+  std::optional<sim::Time> stop = std::nullopt;
+  bool reverse = false;
+  int src_node = -1;  // graph mode placement
+  int dst_node = -1;
 };
 
 struct ScenarioSpec {
   std::string name = "scenario";
-  // Topology knobs (bandwidths, delays, side buffers, per-flow RTT
-  // overrides). n_flows and make_bottleneck_queue are overwritten by
-  // flows.size() and `bottleneck` at build time.
+  // Dumbbell-mode topology knobs (bandwidths, delays, side buffers,
+  // per-flow RTT overrides). n_flows and make_bottleneck_queue are
+  // overwritten at build time from the flow/cross-traffic lists and
+  // `bottleneck`.
   net::DumbbellConfig topology = {};
   QueueSpec bottleneck = {};
+  // Dumbbell mode: queue discipline of the reverse (ACK-path) bottleneck.
+  // nullopt keeps the deep default drop-tail buffer
+  // (topology.reverse_queue_packets); set it to make ACK-path drops real.
+  std::optional<QueueSpec> reverse_bottleneck = std::nullopt;
+  // Graph mode: a non-empty GraphSpec replaces the dumbbell entirely.
+  topo::GraphSpec graph;
+  // Graph mode: link indices whose queues the audit layer should watch.
+  std::vector<int> audited_links;
   std::vector<FlowSpec> flows;
+  std::vector<CbrSpec> cross_traffic;
   InstrumentationOptions instruments = {};
-  // Seeds randomized components (currently the RED drop RNG); pass the
+  // Seeds randomized components (RED drop RNG, ON/OFF sources); pass the
   // sweep's derived per-job seed here.
   std::uint64_t seed = 1;
   sim::Time horizon = sim::Time::seconds(60);
@@ -98,6 +151,10 @@ struct ScenarioSpec {
     }
     return *this;
   }
+  ScenarioSpec& add_cbr(CbrSpec c) {
+    cross_traffic.push_back(std::move(c));
+    return *this;
+  }
 };
 
 class Scenario {
@@ -105,21 +162,43 @@ class Scenario {
   explicit Scenario(ScenarioSpec spec);
 
   sim::Simulator& sim() { return sim_; }
+  // Dumbbell mode only.
   net::DumbbellTopology& topology() { return *topo_; }
+  // The underlying graph, in either mode.
+  topo::TopologyGraph& graph() {
+    return graph_ ? *graph_ : topo_->graph();
+  }
+  bool graph_mode() const { return graph_ != nullptr; }
 
   int n_flows() const { return static_cast<int>(flows_.size()); }
   app::Flow& flow(int i) { return flows_.at(static_cast<std::size_t>(i)); }
   tcp::TcpSenderBase& sender(int i) { return *flow(i).sender; }
-  app::FtpSource& source(int i) {
-    return *sources_.at(static_cast<std::size_t>(i));
+  // The FTP source of flow i; null for ON/OFF flows (see onoff()).
+  app::FtpSource* source(int i) {
+    return sources_.at(static_cast<std::size_t>(i)).get();
+  }
+  // The ON/OFF source of flow i; null for FTP flows.
+  traffic::OnOffSource* onoff(int i) {
+    return onoffs_.at(static_cast<std::size_t>(i)).get();
   }
   FlowInstruments& instruments(int i) {
     return instrumentation_->flow(static_cast<std::size_t>(i));
   }
   Instrumentation& instrumentation() { return *instrumentation_; }
 
+  int n_cbr() const { return static_cast<int>(cbr_sources_.size()); }
+  traffic::CbrSource& cbr(int i) {
+    return *cbr_sources_.at(static_cast<std::size_t>(i));
+  }
+  traffic::CbrSink& cbr_sink(int i) {
+    return *cbr_sinks_.at(static_cast<std::size_t>(i));
+  }
+
   // The bottleneck RED queue, when the spec asked for one (else nullptr).
   net::RedQueue* red() { return red_; }
+  // The reverse-bottleneck RED queue, when spec.reverse_bottleneck asked
+  // for one (else nullptr).
+  net::RedQueue* reverse_red() { return reverse_red_; }
 
   // Runs to the spec's horizon (or an explicit deadline); returns events
   // executed.
@@ -131,12 +210,20 @@ class Scenario {
   const ScenarioSpec& spec() const { return spec_; }
 
  private:
+  void build_dumbbell();
+  void build_graph();
+
   ScenarioSpec spec_;
   sim::Simulator sim_;
-  std::unique_ptr<net::DumbbellTopology> topo_;
+  std::unique_ptr<net::DumbbellTopology> topo_;   // dumbbell mode
+  std::unique_ptr<topo::TopologyGraph> graph_;    // graph mode
   net::RedQueue* red_ = nullptr;
+  net::RedQueue* reverse_red_ = nullptr;
   std::vector<app::Flow> flows_;
-  std::vector<std::unique_ptr<app::FtpSource>> sources_;
+  std::vector<std::unique_ptr<app::FtpSource>> sources_;      // per flow
+  std::vector<std::unique_ptr<traffic::OnOffSource>> onoffs_; // per flow
+  std::vector<std::unique_ptr<traffic::CbrSource>> cbr_sources_;
+  std::vector<std::unique_ptr<traffic::CbrSink>> cbr_sinks_;
   std::unique_ptr<Instrumentation> instrumentation_;
 };
 

@@ -39,7 +39,7 @@ void run_one_job(const SweepJob& job, std::size_t index,
   std::fprintf(stderr,
                "unknown argument: %s\n"
                "usage: <bench> [--threads=N] [--seed=S] [--csv=PATH] "
-               "[--json=PATH]\n",
+               "[--json=PATH] [--list-variants] [--quick]\n",
                arg);
   std::exit(2);
 }
@@ -124,6 +124,10 @@ SweepCli SweepCli::parse(int argc, char** argv) {
       cli.csv_path = csv;
     } else if (const char* json = value_of("--json=")) {
       cli.json_path = json;
+    } else if (arg == "--list-variants") {
+      cli.list_variants = true;
+    } else if (arg == "--quick") {
+      cli.quick = true;
     } else {
       usage_error(argv[i]);
     }

@@ -73,15 +73,22 @@ SweepTiming run_sweep(const std::vector<SweepJob>& jobs, ResultSink& sink,
                       const SweepOptions& opts = {});
 
 // Command-line front end shared by the bench binaries:
-//   --threads=N   worker threads (default: env/hardware as above)
-//   --seed=S      base seed for per-job seed derivation (default 1)
-//   --csv=PATH    write the sweep's CSV to PATH
-//   --json=PATH   write the sweep's JSON to PATH
-// Unknown arguments abort with a usage message on stderr.
+//   --threads=N       worker threads (default: env/hardware as above)
+//   --seed=S          base seed for per-job seed derivation (default 1)
+//   --csv=PATH        write the sweep's CSV to PATH
+//   --json=PATH       write the sweep's JSON to PATH
+//   --list-variants   ask the binary to print the sender registry and exit
+//   --quick           ask the binary to run a reduced grid (perf smoke)
+// Unknown arguments abort with a usage message on stderr. The last two are
+// requests the harness itself cannot act on (it does not link the app
+// registry and does not own the grid); binaries honor them — see
+// bench/bench_common.hpp.
 struct SweepCli {
   SweepOptions options;
   std::string csv_path;
   std::string json_path;
+  bool list_variants = false;
+  bool quick = false;
 
   static SweepCli parse(int argc, char** argv);
 };

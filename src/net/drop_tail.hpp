@@ -25,6 +25,10 @@ class DropTailQueue final : public QueueDisc {
 
   std::uint64_t capacity() const { return capacity_; }
   Mode mode() const { return mode_; }
+  // Slots the backing PacketRing currently holds — the ring's grow-only
+  // high-water mark, exposed so tests can pin when growth happens (and
+  // that steady state stops allocating).
+  std::size_t ring_capacity() const { return q_.capacity(); }
 
  private:
   PacketRing q_;

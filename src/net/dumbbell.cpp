@@ -1,12 +1,14 @@
 #include "net/dumbbell.hpp"
 
+#include <cstdio>
+
 #include "net/drop_tail.hpp"
 #include "sim/assert.hpp"
 
 namespace rrtcp::net {
 
 DumbbellTopology::DumbbellTopology(sim::Simulator& sim, DumbbellConfig cfg)
-    : sim_{sim}, cfg_{std::move(cfg)} {
+    : cfg_{std::move(cfg)} {
   RRTCP_ASSERT(cfg_.n_flows >= 1);
   if (!cfg_.make_bottleneck_queue) {
     cfg_.make_bottleneck_queue = [] {
@@ -14,31 +16,50 @@ DumbbellTopology::DumbbellTopology(sim::Simulator& sim, DumbbellConfig cfg)
     };
   }
 
-  r1_ = make_node();
-  r2_ = make_node();
-  for (int i = 0; i < cfg_.n_flows; ++i) senders_.push_back(make_node());
-  for (int i = 0; i < cfg_.n_flows; ++i) receivers_.push_back(make_node());
+  // Emit the graph spec in the exact order the hand-built topology used:
+  // nodes R1, R2, S1..Sn, K1..Kn; links fwd bottleneck, rev bottleneck,
+  // then per flow S->R1, R1->S, R2->K, K->R2. Node ids and queue
+  // construction order — and therefore traces — match the original.
+  topo::GraphSpec g;
+  g.add_node("R1");
+  g.add_node("R2");
+  for (int i = 0; i < cfg_.n_flows; ++i)
+    g.add_node("S" + std::to_string(i + 1));
+  for (int i = 0; i < cfg_.n_flows; ++i)
+    g.add_node("K" + std::to_string(i + 1));
 
-  // Bottleneck pair. The forward direction gets the queue under test.
   {
-    LinkConfig lc{cfg_.bottleneck_bps, cfg_.bottleneck_delay, "R1->R2"};
-    auto link = std::make_unique<Link>(sim_, lc, cfg_.make_bottleneck_queue());
-    link->set_dst(r2_);
-    fwd_bottleneck_ = link.get();
-    links_.push_back(std::move(link));
+    topo::LinkSpec fwd;
+    fwd.from = kR1;
+    fwd.to = kR2;
+    fwd.bandwidth_bps = cfg_.bottleneck_bps;
+    fwd.delay = cfg_.bottleneck_delay;
+    fwd.name = "R1->R2";
+    fwd.make_queue = [make = cfg_.make_bottleneck_queue](sim::Simulator&) {
+      return make();
+    };
+    g.add_link(std::move(fwd));
   }
   {
-    LinkConfig lc{cfg_.bottleneck_bps, cfg_.bottleneck_delay, "R2->R1"};
-    auto link = std::make_unique<Link>(
-        sim_, lc, std::make_unique<DropTailQueue>(cfg_.reverse_queue_packets));
-    link->set_dst(r1_);
-    rev_bottleneck_ = link.get();
-    links_.push_back(std::move(link));
+    topo::LinkSpec rev;
+    rev.from = kR2;
+    rev.to = kR1;
+    rev.bandwidth_bps = cfg_.reverse_bps > 0 ? cfg_.reverse_bps
+                                             : cfg_.bottleneck_bps;
+    rev.delay = cfg_.reverse_delay.value_or(cfg_.bottleneck_delay);
+    rev.queue_packets = cfg_.reverse_queue_packets;
+    rev.name = "R2->R1";
+    if (cfg_.make_reverse_queue) {
+      rev.make_queue = [make = cfg_.make_reverse_queue](sim::Simulator&) {
+        return make();
+      };
+    }
+    g.add_link(std::move(rev));
   }
 
   for (int i = 0; i < cfg_.n_flows; ++i) {
-    Node& s = *senders_[i];
-    Node& k = *receivers_[i];
+    const int s = sender_index(i);
+    const int k = receiver_index(i);
     char name[32];
 
     sim::Time sender_side_delay = cfg_.side_delay;
@@ -46,53 +67,38 @@ DumbbellTopology::DumbbellTopology(sim::Simulator& sim, DumbbellConfig cfg)
       if (auto d = cfg_.side_delay_for(i)) sender_side_delay = *d;
     }
 
-    std::snprintf(name, sizeof name, "S%d->R1", i + 1);
-    Link* s_r1 = make_link({cfg_.side_bps, sender_side_delay, name},
-                           cfg_.side_queue_packets, *r1_);
-    std::snprintf(name, sizeof name, "R1->S%d", i + 1);
-    Link* r1_s = make_link({cfg_.side_bps, sender_side_delay, name},
-                           cfg_.side_queue_packets, s);
-    std::snprintf(name, sizeof name, "R2->K%d", i + 1);
-    Link* r2_k = make_link({cfg_.side_bps, cfg_.side_delay, name},
-                           cfg_.side_queue_packets, k);
-    std::snprintf(name, sizeof name, "K%d->R2", i + 1);
-    Link* k_r2 = make_link({cfg_.side_bps, cfg_.side_delay, name},
-                           cfg_.side_queue_packets, *r2_);
-
-    // Hosts: everything goes to their gateway.
-    s.set_default_route(s_r1);
-    k.set_default_route(k_r2);
-    // Gateways: receivers are across the bottleneck, senders are local.
-    r1_->add_route(k.id(), fwd_bottleneck_);
-    r1_->add_route(s.id(), r1_s);
-    r2_->add_route(k.id(), r2_k);
-    r2_->add_route(s.id(), rev_bottleneck_);
+    auto side = [&](int from, int to, sim::Time delay, const char* fmt) {
+      topo::LinkSpec ls;
+      ls.from = from;
+      ls.to = to;
+      ls.bandwidth_bps = cfg_.side_bps;
+      ls.delay = delay;
+      ls.queue_packets = cfg_.side_queue_packets;
+      std::snprintf(name, sizeof name, fmt, i + 1);
+      ls.name = name;
+      g.add_link(std::move(ls));
+    };
+    side(s, kR1, sender_side_delay, "S%d->R1");
+    side(kR1, s, sender_side_delay, "R1->S%d");
+    side(kR2, k, cfg_.side_delay, "R2->K%d");
+    side(k, kR2, cfg_.side_delay, "K%d->R2");
   }
-}
 
-Node* DumbbellTopology::make_node() {
-  nodes_.push_back(std::make_unique<Node>(static_cast<NodeId>(nodes_.size())));
-  return nodes_.back().get();
-}
-
-Link* DumbbellTopology::make_link(LinkConfig lc, std::uint64_t queue_pkts,
-                                  Node& dst) {
-  auto link = std::make_unique<Link>(
-      sim_, std::move(lc), std::make_unique<DropTailQueue>(queue_pkts));
-  link->set_dst(&dst);
-  links_.push_back(std::move(link));
-  return links_.back().get();
+  graph_ = std::make_unique<topo::TopologyGraph>(sim, std::move(g));
 }
 
 sim::Time DumbbellTopology::base_rtt(std::uint32_t data_bytes,
                                      std::uint32_t ack_bytes) const {
   using sim::Time;
+  const std::int64_t rev_bps =
+      cfg_.reverse_bps > 0 ? cfg_.reverse_bps : cfg_.bottleneck_bps;
+  const Time rev_delay = cfg_.reverse_delay.value_or(cfg_.bottleneck_delay);
   const Time fwd = Time::transmission(data_bytes, cfg_.side_bps) * 2 +
                    Time::transmission(data_bytes, cfg_.bottleneck_bps) +
                    cfg_.side_delay * 2 + cfg_.bottleneck_delay;
   const Time rev = Time::transmission(ack_bytes, cfg_.side_bps) * 2 +
-                   Time::transmission(ack_bytes, cfg_.bottleneck_bps) +
-                   cfg_.side_delay * 2 + cfg_.bottleneck_delay;
+                   Time::transmission(ack_bytes, rev_bps) +
+                   cfg_.side_delay * 2 + rev_delay;
   return fwd + rev;
 }
 

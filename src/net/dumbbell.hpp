@@ -1,4 +1,4 @@
-// Dumbbell topology builder (the paper's Figure 4).
+// Dumbbell topology preset (the paper's Figure 4).
 //
 //   S1 ---\                      /--- K1
 //   S2 ----+-- R1 ======= R2 ---+---- K2
@@ -9,6 +9,14 @@
 // carries ACKs. The queue discipline *under test* sits on the forward
 // bottleneck; every other buffer is a large drop-tail queue (effectively
 // lossless), matching the paper's setup where all drops happen at R1.
+//
+// Since the topology-graph subsystem landed, DumbbellTopology is a thin
+// preset over topo::TopologyGraph: it emits a GraphSpec (same node ids,
+// same link order, same queues as the original hand-built wiring — traces
+// are byte-identical) and keeps its familiar accessor surface. The
+// reverse bottleneck is first-class: rate, delay and queue are
+// configurable so ACK-path congestion is reachable (reverse bulk flows,
+// ACK compression — see src/traffic/).
 #pragma once
 
 #include <functional>
@@ -19,6 +27,7 @@
 #include "net/link.hpp"
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
+#include "topo/graph.hpp"
 
 namespace rrtcp::net {
 
@@ -39,6 +48,13 @@ struct DumbbellConfig {
   // Buffers everywhere else — large enough to be lossless.
   std::uint64_t side_queue_packets = 10'000;
   std::uint64_t reverse_queue_packets = 10'000;
+  // Reverse-bottleneck overrides (R2->R1, the ACK path). Defaults mirror
+  // the forward bottleneck's rate/delay with the deep drop-tail buffer
+  // above — the paper's effectively-uncongested ACK path. Set a slower
+  // rate / smaller queue (or a factory) to make ACK-path congestion real.
+  std::int64_t reverse_bps = 0;                 // 0 = bottleneck_bps
+  std::optional<sim::Time> reverse_delay;       // nullopt = bottleneck_delay
+  std::function<std::unique_ptr<QueueDisc>()> make_reverse_queue;
 };
 
 class DumbbellTopology {
@@ -47,14 +63,19 @@ class DumbbellTopology {
 
   int n_flows() const { return cfg_.n_flows; }
 
-  Node& sender_node(int i) { return *senders_.at(i); }
-  Node& receiver_node(int i) { return *receivers_.at(i); }
-  Node& r1() { return *r1_; }
-  Node& r2() { return *r2_; }
+  Node& sender_node(int i) { return graph_->node(sender_index(i)); }
+  Node& receiver_node(int i) { return graph_->node(receiver_index(i)); }
+  Node& r1() { return graph_->node(kR1); }
+  Node& r2() { return graph_->node(kR2); }
 
   // The links hosting the shared queues.
-  Link& bottleneck() { return *fwd_bottleneck_; }        // R1 -> R2 (data)
-  Link& reverse_bottleneck() { return *rev_bottleneck_; }  // R2 -> R1 (ACKs)
+  Link& bottleneck() { return graph_->link(0); }          // R1 -> R2 (data)
+  Link& reverse_bottleneck() { return graph_->link(1); }  // R2 -> R1 (ACKs)
+
+  // The underlying graph (node indices via *_index below).
+  topo::TopologyGraph& graph() { return *graph_; }
+  int sender_index(int i) const { return kHosts + i; }
+  int receiver_index(int i) const { return kHosts + cfg_.n_flows + i; }
 
   // Round-trip propagation+transmission baseline for a 1000 B packet (no
   // queueing), useful for sanity checks in tests.
@@ -63,19 +84,14 @@ class DumbbellTopology {
   const DumbbellConfig& config() const { return cfg_; }
 
  private:
-  Node* make_node();
-  Link* make_link(LinkConfig lc, std::uint64_t queue_pkts, Node& dst);
+  // Node-id layout, matching the original hand-built wiring: R1, R2, the n
+  // sender hosts, then the n receiver hosts.
+  static constexpr int kR1 = 0;
+  static constexpr int kR2 = 1;
+  static constexpr int kHosts = 2;
 
-  sim::Simulator& sim_;
   DumbbellConfig cfg_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<std::unique_ptr<Link>> links_;
-  Node* r1_ = nullptr;
-  Node* r2_ = nullptr;
-  std::vector<Node*> senders_;
-  std::vector<Node*> receivers_;
-  Link* fwd_bottleneck_ = nullptr;
-  Link* rev_bottleneck_ = nullptr;
+  std::unique_ptr<topo::TopologyGraph> graph_;
 };
 
 }  // namespace rrtcp::net

@@ -26,6 +26,9 @@ std::string Packet::to_string() const {
                   static_cast<unsigned long long>(uid), flow,
                   static_cast<unsigned long long>(tcp.seq), tcp.payload,
                   size_bytes);
+  } else if (is_cbr()) {
+    std::snprintf(buf, sizeof buf, "CBR  uid=%llu flow=%u size=%uB",
+                  static_cast<unsigned long long>(uid), flow, size_bytes);
   } else {
     std::snprintf(buf, sizeof buf,
                   "ACK  uid=%llu flow=%u ack=%llu nsack=%u size=%uB",

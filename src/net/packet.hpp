@@ -20,7 +20,11 @@ using FlowId = std::uint32_t;
 
 inline constexpr NodeId kInvalidNode = ~NodeId{0};
 
-enum class PacketType : std::uint8_t { kData, kAck };
+// kCbr is unresponsive datagram cross-traffic (src/traffic/cbr.hpp). It is
+// deliberately NOT "data" to the audit layer: pipe-conservation accounting
+// (audit/invariant_auditor.hpp) counts TCP segments only, so CBR drops at a
+// shared queue do not show up as phantom TCP losses.
+enum class PacketType : std::uint8_t { kData, kAck, kCbr };
 
 // One SACK block: [begin, end) in byte offsets.
 struct SackBlock {
@@ -58,6 +62,7 @@ struct Packet {
 
   bool is_data() const { return type == PacketType::kData; }
   bool is_ack() const { return type == PacketType::kAck; }
+  bool is_cbr() const { return type == PacketType::kCbr; }
   std::string to_string() const;
 };
 

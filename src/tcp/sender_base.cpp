@@ -27,6 +27,16 @@ TcpSenderBase::TcpSenderBase(sim::Simulator& sim, net::Node& node,
 
 TcpSenderBase::~TcpSenderBase() { node_.detach_agent(flow_); }
 
+void TcpSenderBase::app_enqueue(std::uint64_t bytes) {
+  RRTCP_ASSERT_MSG(app_total_.has_value(),
+                   "app_enqueue on an unbounded sender");
+  if (bytes == 0) return;
+  *app_total_ += bytes;
+  // transmit() re-arms the RTO timer when it is idle, so waking from an
+  // empty-backlog lull needs no extra timer management here.
+  if (started_) send_new_data();
+}
+
 void TcpSenderBase::start() {
   RRTCP_ASSERT_MSG(!started_, "sender started twice");
   started_ = true;

@@ -39,6 +39,15 @@ class TcpSenderBase : public net::Agent {
   void set_app_bytes(std::optional<std::uint64_t> total) { app_total_ = total; }
   std::optional<std::uint64_t> app_bytes() const { return app_total_; }
 
+  // Append `bytes` to a finite transfer's application backlog and, if the
+  // sender is running, transmit whatever the window allows. This is how
+  // incremental sources (the ON/OFF web-like model in src/traffic/) feed a
+  // connection: arm an empty backlog with set_app_bytes(0), then enqueue
+  // bursts as they arrive. Requires a finite backlog — an unbounded sender
+  // already has infinite data. completion_time() records the FIRST time the
+  // backlog drained; after further enqueues complete() goes false again.
+  void app_enqueue(std::uint64_t bytes);
+
   // Begin transmitting at the current simulation time.
   void start();
   bool started() const { return started_; }

@@ -1,0 +1,166 @@
+#include "topo/graph.hpp"
+
+#include <queue>
+
+#include "net/drop_tail.hpp"
+#include "sim/assert.hpp"
+
+namespace rrtcp::topo {
+
+int GraphSpec::add_node(std::string name) {
+  const int id = static_cast<int>(nodes.size());
+  if (name.empty()) name = std::string{"N"}.append(std::to_string(id));
+  nodes.push_back(std::move(name));
+  return id;
+}
+
+int GraphSpec::add_link(LinkSpec l) {
+  RRTCP_ASSERT(l.from >= 0 && l.from < n_nodes());
+  RRTCP_ASSERT(l.to >= 0 && l.to < n_nodes());
+  RRTCP_ASSERT(l.from != l.to);
+  const int id = static_cast<int>(links.size());
+  if (l.name.empty()) {
+    // append() instead of operator+ chains: GCC 12 -O2 trips a -Wrestrict
+    // false positive on the temporary-string concatenation.
+    l.name = nodes[static_cast<std::size_t>(l.from)];
+    l.name.append("->").append(nodes[static_cast<std::size_t>(l.to)]);
+  }
+  links.push_back(std::move(l));
+  return id;
+}
+
+int GraphSpec::add_duplex(int a, int b, std::int64_t bandwidth_bps,
+                          sim::Time delay, std::uint64_t queue_packets) {
+  LinkSpec fwd;
+  fwd.from = a;
+  fwd.to = b;
+  fwd.bandwidth_bps = bandwidth_bps;
+  fwd.delay = delay;
+  fwd.queue_packets = queue_packets;
+  const int id = add_link(std::move(fwd));
+  LinkSpec rev;
+  rev.from = b;
+  rev.to = a;
+  rev.bandwidth_bps = bandwidth_bps;
+  rev.delay = delay;
+  rev.queue_packets = queue_packets;
+  add_link(std::move(rev));
+  return id;
+}
+
+TopologyGraph::TopologyGraph(sim::Simulator& sim, GraphSpec spec)
+    : sim_{sim}, spec_{std::move(spec)} {
+  RRTCP_ASSERT_MSG(!spec_.empty(), "topology graph needs at least one node");
+
+  nodes_.reserve(spec_.nodes.size());
+  for (std::size_t i = 0; i < spec_.nodes.size(); ++i)
+    nodes_.push_back(std::make_unique<net::Node>(static_cast<net::NodeId>(i)));
+
+  links_.reserve(spec_.links.size());
+  for (const LinkSpec& ls : spec_.links) {
+    net::LinkConfig lc{ls.bandwidth_bps, ls.delay, ls.name};
+    auto queue = ls.make_queue
+                     ? ls.make_queue(sim_)
+                     : std::make_unique<net::DropTailQueue>(ls.queue_packets);
+    auto link = std::make_unique<net::Link>(sim_, std::move(lc),
+                                            std::move(queue));
+    link->set_dst(nodes_[static_cast<std::size_t>(ls.to)].get());
+    links_.push_back(std::move(link));
+  }
+
+  compute_routes();
+}
+
+void TopologyGraph::compute_routes() {
+  const int n = n_nodes();
+  table_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), -1);
+
+  // Outgoing adjacency, in link-index order (the deterministic tie-break:
+  // among equal-hop choices the lowest link index wins).
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(n));
+  for (int li = 0; li < n_links(); ++li)
+    out[static_cast<std::size_t>(spec_.links[static_cast<std::size_t>(li)].from)]
+        .push_back(li);
+
+  // One reverse BFS per destination gives hop counts; each node then picks
+  // its lowest-indexed outgoing link that makes progress.
+  std::vector<int> dist(static_cast<std::size_t>(n));
+  for (int dst = 0; dst < n; ++dst) {
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[static_cast<std::size_t>(dst)] = 0;
+    std::queue<int> bfs;
+    bfs.push(dst);
+    while (!bfs.empty()) {
+      const int v = bfs.front();
+      bfs.pop();
+      // Relax over links ENTERING v: their tail is one hop further out.
+      for (int li = 0; li < n_links(); ++li) {
+        const LinkSpec& ls = spec_.links[static_cast<std::size_t>(li)];
+        if (ls.to != v) continue;
+        if (dist[static_cast<std::size_t>(ls.from)] != -1) continue;
+        dist[static_cast<std::size_t>(ls.from)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        bfs.push(ls.from);
+      }
+    }
+    for (int at = 0; at < n; ++at) {
+      if (at == dst || dist[static_cast<std::size_t>(at)] == -1) continue;
+      for (int li : out[static_cast<std::size_t>(at)]) {
+        const LinkSpec& ls = spec_.links[static_cast<std::size_t>(li)];
+        if (dist[static_cast<std::size_t>(ls.to)] ==
+            dist[static_cast<std::size_t>(at)] - 1) {
+          table_[static_cast<std::size_t>(at) * static_cast<std::size_t>(n) +
+                 static_cast<std::size_t>(dst)] = li;
+          break;
+        }
+      }
+    }
+  }
+
+  // Explicit entries override.
+  for (const RouteSpec& r : spec_.routes) {
+    RRTCP_ASSERT(r.at >= 0 && r.at < n && r.dst >= 0 && r.dst < n);
+    RRTCP_ASSERT(r.link >= 0 && r.link < n_links());
+    RRTCP_ASSERT_MSG(
+        spec_.links[static_cast<std::size_t>(r.link)].from == r.at,
+        "route entry names a link that does not leave its node");
+    table_[static_cast<std::size_t>(r.at) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(r.dst)] = r.link;
+  }
+
+  // Install on the nodes.
+  for (int at = 0; at < n; ++at) {
+    for (int dst = 0; dst < n; ++dst) {
+      const int li = route(at, dst);
+      if (li >= 0)
+        nodes_[static_cast<std::size_t>(at)]->add_route(
+            static_cast<net::NodeId>(dst),
+            links_[static_cast<std::size_t>(li)].get());
+    }
+  }
+}
+
+net::Link* TopologyGraph::link_between(int from, int to) {
+  for (int li = 0; li < n_links(); ++li) {
+    const LinkSpec& ls = spec_.links[static_cast<std::size_t>(li)];
+    if (ls.from == from && ls.to == to)
+      return links_[static_cast<std::size_t>(li)].get();
+  }
+  return nullptr;
+}
+
+std::vector<int> TopologyGraph::path_links(int from, int dst) const {
+  std::vector<int> path;
+  int at = from;
+  while (at != dst) {
+    const int li = route(at, dst);
+    if (li < 0) return {};
+    path.push_back(li);
+    at = spec_.links[static_cast<std::size_t>(li)].to;
+    // A routing loop would exceed the longest possible simple path.
+    if (path.size() > static_cast<std::size_t>(n_links())) return {};
+  }
+  return path;
+}
+
+}  // namespace rrtcp::topo

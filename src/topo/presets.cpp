@@ -1,0 +1,116 @@
+#include "topo/presets.hpp"
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::topo {
+
+namespace {
+
+// Access pair between a host and its router: host->router carries data or
+// ACKs into the core, router->host delivers; both fast and deep-buffered.
+void add_access(GraphSpec& g, int host, int router, std::int64_t bps,
+                sim::Time delay, std::uint64_t queue_pkts) {
+  LinkSpec in;
+  in.from = host;
+  in.to = router;
+  in.bandwidth_bps = bps;
+  in.delay = delay;
+  in.queue_packets = queue_pkts;
+  g.add_link(std::move(in));
+  LinkSpec out;
+  out.from = router;
+  out.to = host;
+  out.bandwidth_bps = bps;
+  out.delay = delay;
+  out.queue_packets = queue_pkts;
+  g.add_link(std::move(out));
+}
+
+}  // namespace
+
+ParkingLotLayout parking_lot(const ParkingLotConfig& cfg) {
+  RRTCP_ASSERT(cfg.n_bottlenecks >= 1);
+  ParkingLotLayout lay;
+  GraphSpec& g = lay.spec;
+
+  for (int i = 0; i <= cfg.n_bottlenecks; ++i)
+    lay.routers.push_back(g.add_node("R" + std::to_string(i)));
+  lay.long_src = g.add_node("A");
+  lay.long_dst = g.add_node("B");
+  for (int i = 0; i < cfg.n_bottlenecks; ++i) {
+    lay.cross_src.push_back(g.add_node("C" + std::to_string(i)));
+    lay.cross_dst.push_back(g.add_node("D" + std::to_string(i)));
+  }
+
+  // The forward chain — every hop is a queue under test.
+  for (int i = 0; i < cfg.n_bottlenecks; ++i) {
+    LinkSpec fwd;
+    fwd.from = lay.routers[static_cast<std::size_t>(i)];
+    fwd.to = lay.routers[static_cast<std::size_t>(i) + 1];
+    fwd.bandwidth_bps = cfg.bottleneck_bps;
+    fwd.delay = cfg.hop_delay;
+    fwd.queue_packets = cfg.queue_packets;
+    fwd.make_queue = cfg.make_bottleneck_queue;
+    lay.bottleneck_links.push_back(g.add_link(std::move(fwd)));
+    LinkSpec rev;
+    rev.from = lay.routers[static_cast<std::size_t>(i) + 1];
+    rev.to = lay.routers[static_cast<std::size_t>(i)];
+    rev.bandwidth_bps = cfg.bottleneck_bps;
+    rev.delay = cfg.hop_delay;
+    rev.queue_packets = cfg.reverse_queue_packets;
+    g.add_link(std::move(rev));
+  }
+
+  add_access(g, lay.long_src, lay.routers.front(), cfg.side_bps,
+             cfg.side_delay, cfg.side_queue_packets);
+  add_access(g, lay.long_dst, lay.routers.back(), cfg.side_bps,
+             cfg.side_delay, cfg.side_queue_packets);
+  for (int i = 0; i < cfg.n_bottlenecks; ++i) {
+    add_access(g, lay.cross_src[static_cast<std::size_t>(i)],
+               lay.routers[static_cast<std::size_t>(i)], cfg.side_bps,
+               cfg.side_delay, cfg.side_queue_packets);
+    add_access(g, lay.cross_dst[static_cast<std::size_t>(i)],
+               lay.routers[static_cast<std::size_t>(i) + 1], cfg.side_bps,
+               cfg.side_delay, cfg.side_queue_packets);
+  }
+  return lay;
+}
+
+MultiDumbbellLayout multi_dumbbell(const MultiDumbbellConfig& cfg) {
+  RRTCP_ASSERT(cfg.n_senders >= 1 && cfg.m_receivers >= 1);
+  MultiDumbbellLayout lay;
+  GraphSpec& g = lay.spec;
+
+  lay.r1 = g.add_node("R1");
+  lay.r2 = g.add_node("R2");
+  for (int i = 0; i < cfg.n_senders; ++i)
+    lay.senders.push_back(g.add_node("S" + std::to_string(i + 1)));
+  for (int i = 0; i < cfg.m_receivers; ++i)
+    lay.receivers.push_back(g.add_node("K" + std::to_string(i + 1)));
+
+  LinkSpec fwd;
+  fwd.from = lay.r1;
+  fwd.to = lay.r2;
+  fwd.bandwidth_bps = cfg.bottleneck_bps;
+  fwd.delay = cfg.bottleneck_delay;
+  fwd.queue_packets = cfg.queue_packets;
+  fwd.make_queue = cfg.make_bottleneck_queue;
+  lay.bottleneck_link = g.add_link(std::move(fwd));
+  LinkSpec rev;
+  rev.from = lay.r2;
+  rev.to = lay.r1;
+  rev.bandwidth_bps = cfg.bottleneck_bps;
+  rev.delay = cfg.bottleneck_delay;
+  rev.queue_packets = cfg.reverse_queue_packets;
+  lay.reverse_bottleneck_link = g.add_link(std::move(rev));
+
+  for (int s : lay.senders)
+    add_access(g, s, lay.r1, cfg.side_bps, cfg.side_delay,
+               cfg.side_queue_packets);
+  for (int r : lay.receivers)
+    add_access(g, r, lay.r2, cfg.side_bps, cfg.side_delay,
+               cfg.side_queue_packets);
+  return lay;
+}
+
+}  // namespace rrtcp::topo

@@ -1,0 +1,79 @@
+// Constant-bit-rate datagram cross-traffic.
+//
+// A CbrSource injects fixed-size PacketType::kCbr datagrams at a constant
+// rate from its node toward a destination, with no congestion control and
+// no retransmission — the classic unresponsive UDP load used to study how
+// much of a bottleneck TCP cedes to traffic that never backs off. The
+// matching CbrSink is a counting Agent on the destination node; loss is
+// simply sent minus received.
+//
+// Determinism: the source is a pure clock — one timer, one packet per
+// tick, interval = serialization time of one packet at the configured
+// rate. No RNG, no allocation per packet (the timer callback fits the
+// simulator's inline event storage), so CBR keeps the forwarding path's
+// 0-allocs/packet guarantee intact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace rrtcp::traffic {
+
+struct CbrConfig {
+  std::int64_t rate_bps = 200'000;  // steady injection rate
+  std::uint32_t packet_bytes = 1'000;
+  sim::Time start = sim::Time::zero();
+  std::optional<sim::Time> stop;  // nullopt = run to the horizon
+};
+
+class CbrSource {
+ public:
+  // Emits from `node` toward `dst`; `flow` must be unique within the
+  // scenario (the sink dispatches on it).
+  CbrSource(sim::Simulator& sim, net::Node& node, net::FlowId flow,
+            net::NodeId dst, CbrConfig cfg);
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t bytes_sent() const {
+    return packets_sent_ * cfg_.packet_bytes;
+  }
+  const CbrConfig& config() const { return cfg_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  net::Node& node_;
+  net::FlowId flow_;
+  net::NodeId dst_;
+  CbrConfig cfg_;
+  sim::Time interval_;
+  std::uint64_t packets_sent_ = 0;
+  sim::Timer timer_;
+};
+
+class CbrSink : public net::Agent {
+ public:
+  CbrSink(net::Node& node, net::FlowId flow) : node_{node}, flow_{flow} {
+    node_.attach_agent(flow_, this);
+  }
+  ~CbrSink() override { node_.detach_agent(flow_); }
+
+  void receive(net::Packet p) override;
+
+  std::uint64_t packets_received() const { return packets_; }
+  std::uint64_t bytes_received() const { return bytes_; }
+
+ private:
+  net::Node& node_;
+  net::FlowId flow_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace rrtcp::traffic

@@ -1,0 +1,69 @@
+#include "traffic/onoff.hpp"
+
+#include <cmath>
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::traffic {
+
+OnOffSource::OnOffSource(sim::Simulator& sim, tcp::TcpSenderBase& sender,
+                         OnOffConfig cfg, std::uint64_t seed,
+                         std::string_view stream)
+    : sim_{sim},
+      sender_{sender},
+      cfg_{cfg},
+      rng_{seed, stream},
+      chunk_interval_{
+          sim::Time::transmission(cfg.chunk_bytes, cfg.on_rate_bps)},
+      timer_{sim, [this] { fire(); }} {
+  RRTCP_ASSERT_MSG(cfg_.shape > 1.0, "Pareto shape must exceed 1");
+  RRTCP_ASSERT(cfg_.mean_on_s > 0 && cfg_.mean_off_s > 0);
+  RRTCP_ASSERT(cfg_.on_rate_bps > 0 && cfg_.chunk_bytes > 0);
+  sender_.set_app_bytes(0);  // empty backlog; app_enqueue() feeds it
+  sim_.schedule_at(cfg_.start, [this] {
+    sender_.start();
+    enter_on();
+  });
+}
+
+void OnOffSource::fire() {
+  if (!on_) {
+    enter_on();
+    return;
+  }
+  if (sim_.now() >= on_deadline_) {
+    enter_off();
+    return;
+  }
+  emit_chunk();
+  timer_.schedule(chunk_interval_);
+}
+
+void OnOffSource::enter_on() {
+  on_ = true;
+  ++bursts_;
+  on_deadline_ = sim_.now() + pareto(cfg_.mean_on_s);
+  emit_chunk();  // a burst always carries at least one chunk
+  timer_.schedule(chunk_interval_);
+}
+
+void OnOffSource::enter_off() {
+  on_ = false;
+  timer_.schedule(pareto(cfg_.mean_off_s));
+}
+
+void OnOffSource::emit_chunk() {
+  sender_.app_enqueue(cfg_.chunk_bytes);
+  bytes_generated_ += cfg_.chunk_bytes;
+}
+
+sim::Time OnOffSource::pareto(double mean_s) {
+  // Pareto(x_m, alpha) has mean x_m * alpha / (alpha - 1); invert for x_m,
+  // then draw by inversion: x = x_m * (1 - u)^(-1/alpha), u ~ U[0,1).
+  const double alpha = cfg_.shape;
+  const double x_m = mean_s * (alpha - 1.0) / alpha;
+  const double u = rng_.uniform01();
+  return sim::Time::seconds(x_m * std::pow(1.0 - u, -1.0 / alpha));
+}
+
+}  // namespace rrtcp::traffic

@@ -1,0 +1,69 @@
+// ON/OFF (Pareto) web-like traffic source.
+//
+// The standard short-flow workload model: a TCP connection whose
+// application alternates between ON periods — data arriving at a constant
+// rate, chunk by chunk — and silent OFF periods, with both durations drawn
+// from a Pareto distribution (heavy-tailed ON periods superpose into
+// long-range-dependent aggregate traffic; Willinger et al.). Unlike the
+// paper's FTP sources, the connection regularly runs out of data, so the
+// sender keeps restarting from an idle window — exactly the regime where
+// recovery behavior after small bursts matters.
+//
+// The source drives TcpSenderBase::app_enqueue() on an initially-empty
+// finite backlog; it owns the sender's start. Randomness comes from one
+// named RNG stream per source, so adding an ON/OFF flow never perturbs any
+// other stochastic component of a scenario.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "tcp/sender_base.hpp"
+
+namespace rrtcp::traffic {
+
+struct OnOffConfig {
+  double mean_on_s = 0.5;   // mean ON duration, seconds
+  double mean_off_s = 0.5;  // mean OFF duration, seconds
+  double shape = 1.5;       // Pareto shape alpha; must be > 1 (finite mean)
+  std::int64_t on_rate_bps = 400'000;  // application arrival rate while ON
+  std::uint32_t chunk_bytes = 1'000;   // enqueue granularity
+  sim::Time start = sim::Time::zero();
+};
+
+class OnOffSource {
+ public:
+  // Arms `sender` with an empty finite backlog and starts it at
+  // cfg.start, entering the first ON period immediately. `seed` + `stream`
+  // name the RNG stream (use a per-flow stream name).
+  OnOffSource(sim::Simulator& sim, tcp::TcpSenderBase& sender, OnOffConfig cfg,
+              std::uint64_t seed, std::string_view stream = "onoff");
+
+  std::uint64_t bytes_generated() const { return bytes_generated_; }
+  int bursts() const { return bursts_; }
+  bool on() const { return on_; }
+
+ private:
+  void fire();
+  void enter_on();
+  void enter_off();
+  void emit_chunk();
+  // Pareto draw with the configured shape and the given mean.
+  sim::Time pareto(double mean_s);
+
+  sim::Simulator& sim_;
+  tcp::TcpSenderBase& sender_;
+  OnOffConfig cfg_;
+  sim::Rng rng_;
+  sim::Time chunk_interval_;
+  sim::Time on_deadline_ = sim::Time::zero();
+  bool on_ = false;
+  int bursts_ = 0;
+  std::uint64_t bytes_generated_ = 0;
+  sim::Timer timer_;
+};
+
+}  // namespace rrtcp::traffic

@@ -23,6 +23,7 @@
 #include "net/red.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "topo/graph.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocs{0};
@@ -118,6 +119,54 @@ TEST(AllocRegression, LinkForwardingSteadyStateIsAllocationFree) {
   };
 
   pump(256);  // warm: pool chunk, heap vector, packet ring
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  constexpr std::uint64_t kPackets = 10'000;
+  pump(kPackets);
+  const std::uint64_t delta =
+      g_allocs.load(std::memory_order_relaxed) - before;
+
+  EXPECT_EQ(delta, 0u) << "allocations per packet: "
+                       << static_cast<double>(delta) / kPackets;
+  EXPECT_EQ(sink.received, 256u + kPackets);
+  EXPECT_EQ(sim.callback_heap_fallbacks(), 0u);
+}
+
+// Multi-hop forwarding through a TopologyGraph: BFS route tables resolve
+// to the same per-node table lookups the dumbbell used, so a packet
+// crossing a graph-routed chain (host -> router -> router -> host) must
+// cost zero allocations once warm — the DESIGN.md §11 guarantee holds for
+// arbitrary graphs, not just the hand-built dumbbell.
+TEST(AllocRegression, GraphRoutingSteadyStateIsAllocationFree) {
+  sim::Simulator sim;
+  topo::GraphSpec g;
+  const int a = g.add_node("A");
+  const int r1 = g.add_node("R1");
+  const int r2 = g.add_node("R2");
+  const int b = g.add_node("B");
+  g.add_duplex(a, r1, 100'000'000, sim::Time::microseconds(50), 64);
+  g.add_duplex(r1, r2, 100'000'000, sim::Time::microseconds(50), 64);
+  g.add_duplex(r2, b, 100'000'000, sim::Time::microseconds(50), 64);
+  topo::TopologyGraph topo{sim, g};
+
+  struct Sink final : net::Agent {
+    std::uint64_t received = 0;
+    void receive(net::Packet) override { ++received; }
+  };
+  Sink sink;
+  topo.node(b).attach_agent(1, &sink);
+
+  auto pump = [&](std::uint64_t packets) {
+    for (std::uint64_t i = 0; i < packets; ++i) {
+      net::Packet p = make_test_packet(1000);
+      p.dst = static_cast<net::NodeId>(b);
+      topo.node(a).inject(std::move(p));
+      if (i % 32 == 31) sim.run();
+    }
+    sim.run();
+  };
+
+  pump(256);  // warm: pool chunk, heap vector, the three hop rings
 
   const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
   constexpr std::uint64_t kPackets = 10'000;

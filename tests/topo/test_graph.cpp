@@ -1,0 +1,212 @@
+// TopologyGraph: spec building, BFS routing (with the deterministic
+// lowest-link-index tie-break), explicit route overrides, and the pinned
+// dumbbell-on-graph layout that the byte-identity guarantee rests on.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/dumbbell.hpp"
+#include "sim/simulator.hpp"
+#include "topo/graph.hpp"
+#include "topo/presets.hpp"
+
+namespace rrtcp {
+namespace {
+
+using topo::GraphSpec;
+using topo::TopologyGraph;
+
+TEST(GraphSpec, DuplexAddsTwoLinksAndAutoNames) {
+  GraphSpec g;
+  const int a = g.add_node("A");
+  const int b = g.add_node("B");
+  const int fwd = g.add_duplex(a, b, 1'000'000, sim::Time::milliseconds(5));
+  EXPECT_EQ(g.n_nodes(), 2);
+  ASSERT_EQ(g.links.size(), 2u);
+  EXPECT_EQ(g.links[0].from, a);
+  EXPECT_EQ(g.links[0].to, b);
+  EXPECT_EQ(g.links[1].from, b);
+  EXPECT_EQ(g.links[1].to, a);
+  EXPECT_EQ(fwd, 0);
+
+  sim::Simulator sim;
+  TopologyGraph topo{sim, g};
+  EXPECT_EQ(topo.spec().links[0].name, "A->B");
+  EXPECT_EQ(topo.spec().links[1].name, "B->A");
+}
+
+TEST(TopologyGraph, ChainRoutesFollowTheOnlyPath) {
+  GraphSpec g;
+  const int a = g.add_node("A");
+  const int b = g.add_node("B");
+  const int c = g.add_node("C");
+  g.add_link({.from = a, .to = b});  // link 0
+  g.add_link({.from = b, .to = c});  // link 1
+
+  sim::Simulator sim;
+  TopologyGraph topo{sim, g};
+  EXPECT_EQ(topo.route(a, c), 0);
+  EXPECT_EQ(topo.route(b, c), 1);
+  EXPECT_EQ(topo.path_links(a, c), (std::vector<int>{0, 1}));
+  EXPECT_EQ(topo.route(a, a), -1);  // no self route
+}
+
+TEST(TopologyGraph, BfsBreaksTiesByLowestLinkIndex) {
+  // Diamond: two equal-hop paths A->D; BFS must pick the one through the
+  // lower-indexed first link so the same spec always routes identically.
+  GraphSpec g;
+  const int a = g.add_node("A");
+  const int b = g.add_node("B");
+  const int c = g.add_node("C");
+  const int d = g.add_node("D");
+  g.add_link({.from = a, .to = b});  // 0
+  g.add_link({.from = a, .to = c});  // 1
+  g.add_link({.from = b, .to = d});  // 2
+  g.add_link({.from = c, .to = d});  // 3
+
+  sim::Simulator sim;
+  TopologyGraph topo{sim, g};
+  EXPECT_EQ(topo.path_links(a, d), (std::vector<int>{0, 2}));
+}
+
+TEST(TopologyGraph, ExplicitRouteOverridesShortestPath) {
+  GraphSpec g;
+  const int a = g.add_node("A");
+  const int b = g.add_node("B");
+  const int c = g.add_node("C");
+  const int d = g.add_node("D");
+  g.add_link({.from = a, .to = b});  // 0
+  g.add_link({.from = a, .to = c});  // 1
+  g.add_link({.from = b, .to = d});  // 2
+  g.add_link({.from = c, .to = d});  // 3
+  g.add_route(a, d, 1);  // force the C branch at A
+
+  sim::Simulator sim;
+  TopologyGraph topo{sim, g};
+  EXPECT_EQ(topo.path_links(a, d), (std::vector<int>{1, 3}));
+  // Other destinations are untouched by the override.
+  EXPECT_EQ(topo.route(a, b), 0);
+}
+
+TEST(TopologyGraph, UnreachableDestinationRoutesNowhere) {
+  GraphSpec g;
+  const int a = g.add_node("A");
+  const int b = g.add_node("B");
+  const int island = g.add_node("X");  // no links at all
+  g.add_link({.from = a, .to = b});
+
+  sim::Simulator sim;
+  TopologyGraph topo{sim, g};
+  EXPECT_EQ(topo.route(a, island), -1);
+  EXPECT_TRUE(topo.path_links(a, island).empty());
+  EXPECT_EQ(topo.route(b, a), -1);  // directed: no reverse link exists
+}
+
+TEST(TopologyGraph, LinkBetweenFindsFirstMatch) {
+  GraphSpec g;
+  const int a = g.add_node("A");
+  const int b = g.add_node("B");
+  g.add_duplex(a, b, 1'000'000, sim::Time::zero());
+
+  sim::Simulator sim;
+  TopologyGraph topo{sim, g};
+  EXPECT_EQ(topo.link_between(a, b), &topo.link(0));
+  EXPECT_EQ(topo.link_between(b, a), &topo.link(1));
+  EXPECT_EQ(topo.link_between(a, a), nullptr);
+}
+
+// The dumbbell preset's node/link layout is load-bearing: seed-trace
+// byte-identity depends on R1, R2, senders, receivers getting the exact
+// node ids (and the bottleneck pair the exact link ids) the hand-built
+// topology used. Pin them.
+TEST(DumbbellOnGraph, SeedLayoutIsPinned) {
+  sim::Simulator sim;
+  net::DumbbellConfig cfg;
+  cfg.n_flows = 2;
+  net::DumbbellTopology dumbbell{sim, cfg};
+  TopologyGraph& g = dumbbell.graph();
+
+  EXPECT_EQ(g.n_nodes(), 2 + 2 * 2);
+  EXPECT_EQ(g.n_links(), 2 + 4 * 2);
+  EXPECT_EQ(&dumbbell.bottleneck(), &g.link(0));          // R1 -> R2
+  EXPECT_EQ(&dumbbell.reverse_bottleneck(), &g.link(1));  // R2 -> R1
+  EXPECT_EQ(dumbbell.sender_index(0), 2);
+  EXPECT_EQ(dumbbell.receiver_index(0), 4);
+
+  // Data path S1 -> K1: access link, forward bottleneck, exit link;
+  // ACK path K1 -> S1: the mirror through the reverse bottleneck.
+  EXPECT_EQ(g.path_links(dumbbell.sender_index(0), dumbbell.receiver_index(0)),
+            (std::vector<int>{2, 0, 4}));
+  EXPECT_EQ(g.path_links(dumbbell.receiver_index(0), dumbbell.sender_index(0)),
+            (std::vector<int>{5, 1, 3}));
+}
+
+TEST(DumbbellOnGraph, ReverseBottleneckOverridesApply) {
+  sim::Simulator sim;
+  net::DumbbellConfig cfg;
+  cfg.n_flows = 1;
+  cfg.reverse_bps = 200'000;
+  cfg.reverse_delay = sim::Time::milliseconds(40);
+  net::DumbbellTopology dumbbell{sim, cfg};
+
+  EXPECT_EQ(dumbbell.reverse_bottleneck().config().bandwidth_bps, 200'000);
+  EXPECT_EQ(dumbbell.reverse_bottleneck().config().prop_delay,
+            sim::Time::milliseconds(40));
+  // Forward bottleneck keeps the Table 3 defaults.
+  EXPECT_EQ(dumbbell.bottleneck().config().bandwidth_bps, 800'000);
+}
+
+TEST(ParkingLot, LongPathCrossesEveryBottleneck) {
+  topo::ParkingLotConfig cfg;
+  cfg.n_bottlenecks = 3;
+  const topo::ParkingLotLayout lay = topo::parking_lot(cfg);
+  ASSERT_EQ(lay.routers.size(), 4u);       // R0..R3
+  ASSERT_EQ(lay.bottleneck_links.size(), 3u);
+  ASSERT_EQ(lay.cross_src.size(), 3u);
+
+  sim::Simulator sim;
+  TopologyGraph g{sim, lay.spec};
+  const std::vector<int> path = g.path_links(lay.long_src, lay.long_dst);
+  for (int l : lay.bottleneck_links)
+    EXPECT_NE(std::find(path.begin(), path.end(), l), path.end())
+        << "long path misses bottleneck link " << l;
+
+  // Cross flow i crosses ONLY its own bottleneck.
+  for (std::size_t i = 0; i < lay.cross_src.size(); ++i) {
+    const std::vector<int> cross = g.path_links(
+        lay.cross_src[i], lay.cross_dst[i]);
+    for (std::size_t j = 0; j < lay.bottleneck_links.size(); ++j) {
+      const bool on_path =
+          std::find(cross.begin(), cross.end(), lay.bottleneck_links[j]) !=
+          cross.end();
+      EXPECT_EQ(on_path, i == j) << "cross " << i << " vs bottleneck " << j;
+    }
+  }
+}
+
+TEST(MultiDumbbell, EveryPairCrossesTheBottleneck) {
+  topo::MultiDumbbellConfig cfg;
+  cfg.n_senders = 4;
+  cfg.m_receivers = 2;
+  const topo::MultiDumbbellLayout lay = topo::multi_dumbbell(cfg);
+  ASSERT_EQ(lay.senders.size(), 4u);
+  ASSERT_EQ(lay.receivers.size(), 2u);
+
+  sim::Simulator sim;
+  TopologyGraph g{sim, lay.spec};
+  for (int s : lay.senders)
+    for (int r : lay.receivers) {
+      const std::vector<int> path = g.path_links(s, r);
+      EXPECT_NE(std::find(path.begin(), path.end(), lay.bottleneck_link),
+                path.end())
+          << "path " << s << " -> " << r << " avoids the bottleneck";
+      const std::vector<int> back = g.path_links(r, s);
+      EXPECT_NE(std::find(back.begin(), back.end(),
+                          lay.reverse_bottleneck_link),
+                back.end());
+    }
+}
+
+}  // namespace
+}  // namespace rrtcp

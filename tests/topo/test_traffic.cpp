@@ -1,0 +1,166 @@
+// Traffic sources: CBR rate/stop/sink accounting, ON/OFF determinism via
+// named RNG streams, and the TcpSenderBase::app_enqueue contract the
+// ON/OFF source is built on.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/newreno.hpp"
+#include "testutil.hpp"
+#include "topo/graph.hpp"
+#include "traffic/cbr.hpp"
+#include "traffic/onoff.hpp"
+
+namespace rrtcp {
+namespace {
+
+// Two hosts on a fast duplex link — enough topology for a CBR stream.
+struct CbrRig {
+  sim::Simulator sim;
+  topo::TopologyGraph topo;
+  traffic::CbrSink sink;
+
+  explicit CbrRig(traffic::CbrConfig cfg)
+      : topo{sim, make_spec()},
+        sink{topo.node(1), /*flow=*/1},
+        source{sim, topo.node(0), /*flow=*/1, /*dst=*/1, cfg} {}
+
+  traffic::CbrSource source;
+
+  static topo::GraphSpec make_spec() {
+    topo::GraphSpec g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_duplex(a, b, 10'000'000, sim::Time::milliseconds(1));
+    return g;
+  }
+};
+
+TEST(Cbr, RateSetsThePacketClock) {
+  traffic::CbrConfig cfg;
+  cfg.rate_bps = 800'000;    // 1000 B packets -> one every 10 ms
+  cfg.packet_bytes = 1'000;
+  CbrRig rig{cfg};
+  rig.sim.run_until(sim::Time::seconds(10));
+
+  // Ticks at t = 0, 10ms, ... : 100 packets/s over 10 s, +-1 for the
+  // endpoints.
+  EXPECT_GE(rig.source.packets_sent(), 1000u);
+  EXPECT_LE(rig.source.packets_sent(), 1001u);
+  EXPECT_EQ(rig.source.bytes_sent(), rig.source.packets_sent() * 1000u);
+  // The fast link delivers everything (modulo the last packet in flight).
+  EXPECT_GE(rig.sink.packets_received(), rig.source.packets_sent() - 1);
+  EXPECT_EQ(rig.sink.bytes_received(), rig.sink.packets_received() * 1000u);
+}
+
+TEST(Cbr, StopDisarmsTheSource) {
+  traffic::CbrConfig cfg;
+  cfg.rate_bps = 800'000;
+  cfg.stop = sim::Time::seconds(5);
+  CbrRig rig{cfg};
+  rig.sim.run_until(sim::Time::seconds(20));
+
+  // ~500 packets in [0, 5s) and not one more over the remaining 15 s.
+  EXPECT_GE(rig.source.packets_sent(), 499u);
+  EXPECT_LE(rig.source.packets_sent(), 501u);
+}
+
+TEST(Cbr, DelayedStartShiftsTheClock) {
+  traffic::CbrConfig cfg;
+  cfg.rate_bps = 800'000;
+  cfg.start = sim::Time::seconds(5);
+  CbrRig rig{cfg};
+  rig.sim.run_until(sim::Time::seconds(4));
+  EXPECT_EQ(rig.source.packets_sent(), 0u);
+  rig.sim.run_until(sim::Time::seconds(10));
+  EXPECT_GE(rig.source.packets_sent(), 500u);
+  EXPECT_LE(rig.source.packets_sent(), 501u);
+}
+
+harness::ScenarioSpec onoff_spec(std::uint64_t seed) {
+  traffic::OnOffConfig oc;
+  oc.mean_on_s = 0.3;
+  oc.mean_off_s = 0.3;
+  harness::ScenarioSpec spec;
+  spec.name = "onoff-test";
+  spec.seed = seed;
+  spec.horizon = sim::Time::seconds(20);
+  spec.add_flow({.variant = app::Variant::kNewReno, .onoff = oc});
+  return spec;
+}
+
+TEST(OnOff, GeneratesBurstsAndDeliversData) {
+  harness::Scenario sc{onoff_spec(7)};
+  sc.run();
+  ASSERT_NE(sc.onoff(0), nullptr);
+  EXPECT_EQ(sc.source(0), nullptr);  // ON/OFF flows have no FTP source
+  EXPECT_GT(sc.onoff(0)->bursts(), 1);
+  EXPECT_GT(sc.onoff(0)->bytes_generated(), 0u);
+  // The sender actually moved the generated data.
+  EXPECT_GT(sc.sender(0).snd_una(), 0u);
+  EXPECT_LE(sc.sender(0).snd_una(), sc.onoff(0)->bytes_generated());
+}
+
+TEST(OnOff, SameSeedReproducesTheRun) {
+  harness::Scenario a{onoff_spec(42)};
+  harness::Scenario b{onoff_spec(42)};
+  a.run();
+  b.run();
+  EXPECT_EQ(a.onoff(0)->bytes_generated(), b.onoff(0)->bytes_generated());
+  EXPECT_EQ(a.onoff(0)->bursts(), b.onoff(0)->bursts());
+  EXPECT_EQ(a.sender(0).stats().data_packets_sent,
+            b.sender(0).stats().data_packets_sent);
+  EXPECT_EQ(a.sender(0).snd_una(), b.sender(0).snd_una());
+}
+
+TEST(OnOff, DifferentSeedPerturbsTheDraws) {
+  harness::Scenario a{onoff_spec(42)};
+  harness::Scenario b{onoff_spec(43)};
+  a.run();
+  b.run();
+  // Heavy-tailed draws from distinct streams: byte totals colliding would
+  // require identical ON/OFF sequences.
+  EXPECT_NE(a.onoff(0)->bytes_generated(), b.onoff(0)->bytes_generated());
+}
+
+// The contract ON/OFF sources depend on: an empty finite backlog sender
+// can be started idle, fed by app_enqueue, complete, then resume when more
+// data arrives — re-arming its own RTO protection.
+TEST(AppEnqueue, ResumesAnIdleSender) {
+  test::SenderHarness<tcp::NewRenoSender> h;
+  h.sender().set_app_bytes(0);
+  h.sender().start();
+  EXPECT_TRUE(h.sent_seqs().empty());  // nothing to send yet
+  EXPECT_TRUE(h.sender().complete());  // trivially: 0 of 0 bytes
+
+  h.sender().app_enqueue(2'000);
+  EXPECT_FALSE(h.sender().complete());
+  EXPECT_EQ(h.sent_seqs(), (std::vector<std::uint64_t>{0}));  // init cwnd 1
+  EXPECT_TRUE(h.sender().rto_pending());
+
+  h.ack(1'000);
+  h.ack(2'000);
+  EXPECT_TRUE(h.sender().complete());
+  EXPECT_FALSE(h.sender().rto_pending());
+
+  // New data after completion: transmission resumes and the timer re-arms.
+  h.wire.clear();
+  h.sender().app_enqueue(1'000);
+  EXPECT_FALSE(h.sender().complete());
+  EXPECT_EQ(h.sent_seqs(), (std::vector<std::uint64_t>{2'000}));
+  EXPECT_TRUE(h.sender().rto_pending());
+  h.ack(3'000);
+  EXPECT_TRUE(h.sender().complete());
+}
+
+TEST(AppEnqueue, ZeroBytesIsANoOp) {
+  test::SenderHarness<tcp::NewRenoSender> h;
+  h.sender().set_app_bytes(0);
+  h.sender().start();
+  h.sender().app_enqueue(0);
+  EXPECT_TRUE(h.sent_seqs().empty());
+  EXPECT_TRUE(h.sender().complete());
+}
+
+}  // namespace
+}  // namespace rrtcp
