@@ -52,13 +52,20 @@ void Link::try_transmit() {
   // The forwarding path must stay allocation-free: both per-packet events
   // have to fit the scheduler's inline capture buffer.
   static_assert(sim::Simulator::fits_inline<decltype(deliver)>());
-  sim_.schedule_in(tx + cfg_.prop_delay + jitter, std::move(deliver));
+  // Absolute serialization-end computed once for both events. Scheduling
+  // deliver *before* release is load-bearing: the insertion-sequence order
+  // is part of the pinned legacy-equivalence traces, and the scheduler's
+  // same-tick batching (DESIGN.md §11) relies on same-instant schedules
+  // arriving in ascending sequence to chain a burst of deliveries behind
+  // one heap entry.
+  const sim::Time done = sim_.now() + tx;
+  sim_.schedule_at(done + cfg_.prop_delay + jitter, std::move(deliver));
   auto release = [this] {
     busy_ = false;
     try_transmit();
   };
   static_assert(sim::Simulator::fits_inline<decltype(release)>());
-  sim_.schedule_in(tx, std::move(release));
+  sim_.schedule_at(done, std::move(release));
 }
 
 double Link::utilization(sim::Time now) const {

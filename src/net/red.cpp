@@ -14,6 +14,11 @@ RedQueue::RedQueue(sim::Simulator& sim, RedConfig cfg)
   RRTCP_ASSERT(cfg.max_p > 0 && cfg.max_p <= 1.0);
   RRTCP_ASSERT(cfg.w_q > 0 && cfg.w_q <= 1.0);
   idle_since_ = sim.now();
+  // Pre-size the ring to the physical buffer so the enqueue path never
+  // allocates, even for a queue first touched mid-run (capped as in
+  // DropTailQueue — beyond it, amortized doubling takes over).
+  q_.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(cfg_.buffer_packets, 1024)));
 }
 
 void RedQueue::update_average() {

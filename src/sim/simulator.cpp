@@ -1,8 +1,36 @@
 #include "sim/simulator.hpp"
 
+#include <bit>
 #include <memory>
 
 namespace rrtcp::sim {
+
+namespace {
+// Rotate the occupancy bitmap so the current bucket is bit 0, then the
+// count of trailing zeros is the forward distance to the nearest occupied
+// bucket (all occupied buckets sit within one wheel revolution ahead).
+inline int bucket_distance(std::uint64_t bits, unsigned cur) {
+  return std::countr_zero(std::rotr(bits, cur));
+}
+}  // namespace
+
+Simulator::Simulator() {
+  for (int level = 0; level < kWheelLevels; ++level)
+    for (int b = 0; b < kWheelSlots; ++b) {
+      wheel_head_[level][b] = detail::kNilLink;
+      wheel_tail_[level][b] = detail::kNilLink;
+    }
+  // Same-tick chains form lazily on the first timestamp collision, which
+  // in a jittered workload can land long after warm-up. Reserve the chain
+  // table (and free list) here so that first collision stays alloc-free
+  // in steady state.
+  chains_.reserve(16);
+  free_chains_.reserve(16);
+  // Pre-size the heap to a working floor (24 KiB). A chain upgrade adds
+  // one entry on top of the warmed high-water mark; without slack that
+  // single push can land exactly on a doubling boundary mid-measurement.
+  heap_.reserve(1024);
+}
 
 void Simulator::grow_pool() {
   // Grow the pool by one chunk. Chunks are stable in memory (never moved
@@ -18,24 +46,334 @@ void Simulator::grow_pool() {
     free_.push_back(base + static_cast<std::uint32_t>(i));
 }
 
+// ---------------------------------------------------------------------------
+// Timer wheel
+
+void Simulator::wheel_link(int level, std::uint32_t slot,
+                           detail::EventNode& n) {
+  const int shift = kWheelShift0 + level * kWheelSlotBits;
+  const std::int64_t idx = n.at_ps >> shift;
+  const unsigned b = static_cast<unsigned>(idx) & (kWheelSlots - 1);
+  n.loc = static_cast<std::uint8_t>(detail::kLocWheel0 + level);
+  n.bucket = static_cast<std::uint8_t>(b);
+  n.next = detail::kNilLink;
+  n.prev = wheel_tail_[level][b];
+  if (n.prev == detail::kNilLink)
+    wheel_head_[level][b] = slot;
+  else
+    node(n.prev).next = slot;
+  wheel_tail_[level][b] = slot;
+  wheel_bits_[level] |= std::uint64_t{1} << b;
+  ++wheel_count_;
+  const std::int64_t start = idx << shift;
+  if (start < wheel_lb_ps_) wheel_lb_ps_ = start;
+}
+
+void Simulator::wheel_unlink(detail::EventNode& n) {
+  const int level = n.loc - detail::kLocWheel0;
+  const unsigned b = n.bucket;
+  if (n.prev == detail::kNilLink)
+    wheel_head_[level][b] = n.next;
+  else
+    node(n.prev).next = n.next;
+  if (n.next == detail::kNilLink)
+    wheel_tail_[level][b] = n.prev;
+  else
+    node(n.next).prev = n.prev;
+  if (wheel_head_[level][b] == detail::kNilLink)
+    wheel_bits_[level] &= ~(std::uint64_t{1} << b);
+  // wheel_lb_ps_ may now under-estimate; advance_wheel_once() tolerates
+  // that (it re-derives the true minimum from the bitmaps).
+  if (--wheel_count_ == 0) wheel_lb_ps_ = kMaxPs;
+}
+
+void Simulator::insert_far(std::uint32_t slot, detail::EventNode& n) {
+  const std::int64_t t = n.at_ps;
+  for (int level = 0; level < kWheelLevels; ++level) {
+    const int shift = kWheelShift0 + level * kWheelSlotBits;
+    if ((t >> shift) - (wheel_now_ps_ >> shift) <
+        static_cast<std::int64_t>(kWheelSlots)) {
+      wheel_link(level, slot, n);
+      // A wheel insert closes any open same-tick heap run: a later heap
+      // insert at the same instant must not batch past this event. (This
+      // only matters when the run's instant entered the wheel span after
+      // its anchor overflowed to the heap — rare, but order-critical.)
+      cache_at_ps_ = kNoCache;
+      return;
+    }
+  }
+  // Beyond the outermost wheel span (~18.8 min out): ordinary heap entry.
+  insert_near(slot, n);
+}
+
+void Simulator::recompute_wheel_lb() {
+  std::int64_t lb = kMaxPs;
+  for (int level = 0; level < kWheelLevels; ++level) {
+    const std::uint64_t bits = wheel_bits_[level];
+    if (bits == 0) continue;
+    const int shift = kWheelShift0 + level * kWheelSlotBits;
+    const std::int64_t cur = wheel_now_ps_ >> shift;
+    const int d = bucket_distance(bits, static_cast<unsigned>(cur) &
+                                            (kWheelSlots - 1));
+    const std::int64_t start = (cur + d) << shift;
+    if (start < lb) lb = start;
+  }
+  wheel_lb_ps_ = lb;
+}
+
+void Simulator::advance_wheel_once() {
+  // Find the occupied bucket with the smallest start time. Ties between
+  // levels are taken at the *higher* level so a coarse bucket cascades
+  // before a same-start fine bucket flushes (its events may sort earlier).
+  std::int64_t best = kMaxPs;
+  int best_level = -1;
+  unsigned best_bucket = 0;
+  for (int level = kWheelLevels - 1; level >= 0; --level) {
+    const std::uint64_t bits = wheel_bits_[level];
+    if (bits == 0) continue;
+    const int shift = kWheelShift0 + level * kWheelSlotBits;
+    const std::int64_t cur = wheel_now_ps_ >> shift;
+    const unsigned cb = static_cast<unsigned>(cur) & (kWheelSlots - 1);
+    const int d = bucket_distance(bits, cb);
+    const std::int64_t start = (cur + d) << shift;
+    if (start < best) {
+      best = start;
+      best_level = level;
+      best_bucket = (cb + static_cast<unsigned>(d)) & (kWheelSlots - 1);
+    }
+  }
+  RRTCP_ASSERT(best_level >= 0);
+  // The horizon only moves forward: `best` is the minimum start over all
+  // occupied buckets, and every event still in the wheel is >= its
+  // bucket's start.
+  wheel_now_ps_ = best;
+
+  // Detach the whole bucket, then redistribute. Level 0 buckets are fully
+  // inside the current coarse tick, so their events go straight to the
+  // heap; coarser buckets cascade into strictly finer levels (every event
+  // of a level-k bucket fits level k-1 once wheel_now_ sits at the bucket
+  // start). List order is insertion order, so consecutive same-instant
+  // events with ascending seq re-batch into chains as they flush.
+  std::uint32_t s = wheel_head_[best_level][best_bucket];
+  wheel_head_[best_level][best_bucket] = detail::kNilLink;
+  wheel_tail_[best_level][best_bucket] = detail::kNilLink;
+  wheel_bits_[best_level] &= ~(std::uint64_t{1} << best_bucket);
+
+  // Open runs for this flush live in flush_runs_ (deliberately NOT the
+  // schedule-time cache: a flushed run must never merge into a chain that
+  // younger events already extend — seqs would interleave). See the table
+  // declaration for the FIFO argument; the short version: an instant
+  // claims a table slot at most once per flush, a node batches only when
+  // its seq exceeds the instant's high-water mark, and everything else
+  // becomes its own heap entry ordered by the (at, seq) tie-break.
+  ++flush_epoch_;
+
+  while (s != detail::kNilLink) {
+    detail::EventNode& n = node(s);
+    const std::uint32_t next = n.next;
+    --wheel_count_;
+    if ((n.at_ps >> kWheelShift0) > (wheel_now_ps_ >> kWheelShift0)) {
+      // Still in a future coarse tick: re-stage at a finer level.
+      for (int level = 0;; ++level) {
+        RRTCP_DASSERT(level < best_level);
+        const int shift = kWheelShift0 + level * kWheelSlotBits;
+        if ((n.at_ps >> shift) - (wheel_now_ps_ >> shift) <
+            static_cast<std::int64_t>(kWheelSlots)) {
+          wheel_link(level, s, n);
+          break;
+        }
+      }
+      s = next;
+      continue;
+    }
+    // Heap-bound. Find this instant's run: an exact match wins; otherwise
+    // remember a free (stale-epoch) slot to claim.
+    const std::uint32_t h = flush_slot_of(n.at_ps);
+    FlushRun* run = nullptr;
+    FlushRun* claim = nullptr;
+    for (const std::uint32_t probe : {h, h ^ 1u}) {
+      FlushRun& cand = flush_runs_[probe];
+      if (cand.epoch == flush_epoch_) {
+        if (cand.at_ps == n.at_ps) {
+          run = &cand;
+          break;
+        }
+      } else if (claim == nullptr) {
+        claim = &cand;
+      }
+    }
+    if (run != nullptr && n.seq > run->max_seq) {
+      // Extends the instant's run: batch it behind one heap entry.
+      if (!run->is_chain) {
+        run->ref = upgrade_to_chain(run->ref);
+        run->is_chain = true;
+      }
+      chain_append(run->ref, s, n);
+      run->max_seq = n.seq;
+    } else {
+      n.loc = detail::kLocHeap;
+      heap_push(HeapEntry{Time::picoseconds(n.at_ps), n.seq, s});
+      if (run != nullptr) {
+        // Below the instant's high-water mark (a cascade delivered this
+        // node behind younger direct inserts): it sorts on its own entry —
+        // batching it into the younger chain would jump the seq order. The
+        // run itself stays open for later, higher seqs.
+      } else if (claim != nullptr) {
+        *claim = FlushRun{n.at_ps, flush_epoch_, n.seq, s, false};
+      }
+      // Both probe slots busy with other instants: stay un-batched.
+    }
+    s = next;
+  }
+  recompute_wheel_lb();
+}
+
+// ---------------------------------------------------------------------------
+// Same-tick chains
+
+std::uint32_t Simulator::alloc_chain(std::int64_t at_ps) {
+  std::uint32_t ci;
+  if (free_chains_.empty()) {
+    ci = static_cast<std::uint32_t>(chains_.size());
+    chains_.push_back(Chain{});
+  } else {
+    ci = free_chains_.back();
+    free_chains_.pop_back();
+  }
+  Chain& c = chains_[ci];
+  c.head = c.tail = detail::kNilLink;
+  c.count = 0;
+  c.at_ps = at_ps;
+  return ci;
+}
+
+// Turn a single heap-resident event into the first member of a chain. The
+// chain's heap entry inherits the anchor's (at, seq) key — its sort
+// position is unchanged — and the anchor's old entry goes stale.
+std::uint32_t Simulator::upgrade_to_chain(std::uint32_t anchor_slot) {
+  detail::EventNode& a = node(anchor_slot);
+  const std::uint32_t ci = alloc_chain(a.at_ps);
+  Chain& c = chains_[ci];
+  a.loc = detail::kLocChain;
+  a.owner = ci;
+  a.prev = detail::kNilLink;
+  a.next = detail::kNilLink;
+  c.head = c.tail = anchor_slot;
+  c.count = 1;
+  ++stale_heap_;  // the anchor's plain entry is now dead
+  heap_push(HeapEntry{Time::picoseconds(a.at_ps), a.seq, kChainFlag | ci});
+  return ci;
+}
+
+void Simulator::chain_append(std::uint32_t ci, std::uint32_t slot,
+                             detail::EventNode& n) {
+  Chain& c = chains_[ci];
+  n.loc = detail::kLocChain;
+  n.owner = ci;
+  n.next = detail::kNilLink;
+  n.prev = c.tail;
+  node(c.tail).next = slot;
+  c.tail = slot;
+  ++c.count;
+}
+
+void Simulator::chain_unlink(detail::EventNode& n) {
+  Chain& c = chains_[n.owner];
+  if (n.prev == detail::kNilLink)
+    c.head = n.next;
+  else
+    node(n.prev).next = n.next;
+  if (n.next == detail::kNilLink)
+    c.tail = n.prev;
+  else
+    node(n.next).prev = n.prev;
+  // An emptied chain leaves its heap entry behind as a corpse; it is
+  // reaped (and the chain index recycled) when it reaches the top or the
+  // heap compacts.
+  if (--c.count == 0) ++stale_heap_;
+}
+
+void Simulator::insert_same_tick(std::uint32_t slot, detail::EventNode& n) {
+  const std::int64_t t = n.at_ps;
+  if (cache_is_chain_) {
+    Chain& c = chains_[cache_ref_];
+    // The tail-seq check defeats ABA on recycled chain indexes: only the
+    // chain whose tail is literally the previous insert may be extended.
+    if (c.count > 0 && c.at_ps == t && node(c.tail).seq == cache_seq_) {
+      chain_append(cache_ref_, slot, n);
+      cache_seq_ = n.seq;
+      return;
+    }
+  } else {
+    detail::EventNode& a = node(cache_ref_);
+    if (a.seq == cache_seq_ && a.loc == detail::kLocHeap && a.at_ps == t) {
+      const std::uint32_t ci = upgrade_to_chain(cache_ref_);
+      chain_append(ci, slot, n);
+      cache_is_chain_ = true;
+      cache_ref_ = ci;
+      cache_seq_ = n.seq;
+      return;
+    }
+  }
+  // Anchor fired, cancelled, or moved since it was cached: start a fresh
+  // run at the same instant (cache_at_ps_ already == t).
+  n.loc = detail::kLocHeap;
+  cache_ref_ = slot;
+  cache_seq_ = n.seq;
+  cache_is_chain_ = false;
+  heap_push(HeapEntry{Time::picoseconds(t), n.seq, slot});
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation / reschedule
+
 bool Simulator::cancel_event(std::uint32_t slot, std::uint64_t seq) {
   if (seq == 0) return false;
   detail::EventNode& n = node(slot);
   if (n.seq != seq) return false;  // already fired, cancelled, or recycled
+  const std::uint8_t loc = n.loc;
+  if (loc == detail::kLocChain)
+    chain_unlink(n);
+  else if (loc >= detail::kLocWheel0)
+    wheel_unlink(n);
   n.fn.reset();  // release captured resources eagerly
   n.seq = 0;
-  // The slot is reusable immediately: its heap entry still carries the old
-  // seq and is recognized as stale when it reaches the top.
+  n.loc = detail::kLocFree;
+  // The slot is reusable immediately: a heap resident's entry still
+  // carries the old seq and is recognized as stale when it surfaces.
   free_slot(slot);
+  --live_events_;
+  if (loc == detail::kLocHeap) note_stale();
   return true;
 }
 
-void Simulator::heap_pop_top() {
-  const HeapEntry moved = heap_.back();
-  heap_.pop_back();
+EventHandle Simulator::reschedule_at(const EventHandle& h, Time at) {
+  RRTCP_ASSERT(h.sim_ == this);
+  RRTCP_ASSERT_MSG(at >= now_, "cannot schedule an event in the past");
+  detail::EventNode& n = node(h.slot_);
+  RRTCP_ASSERT_MSG(h.seq_ != 0 && n.seq == h.seq_,
+                   "reschedule_at requires a pending event");
+  const std::uint8_t loc = n.loc;
+  if (loc == detail::kLocChain)
+    chain_unlink(n);
+  else if (loc >= detail::kLocWheel0)
+    wheel_unlink(n);
+  // Re-sequencing keeps FIFO semantics identical to cancel + schedule;
+  // the stored callable and slot are reused untouched. A stale cache
+  // pointing at the old identity self-invalidates via the seq change.
+  n.seq = ++last_seq_;
+  n.at_ps = at.ps();
+  if (loc == detail::kLocHeap) note_stale();
+  insert_event(h.slot_, n);
+  return EventHandle{this, h.slot_, n.seq};
+}
+
+// ---------------------------------------------------------------------------
+// Heap
+
+void Simulator::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
-  if (n == 0) return;
-  std::size_t i = 0;
+  const HeapEntry e = heap_[i];
   for (;;) {
     const std::size_t first = (i << 2) + 1;
     if (first >= n) break;
@@ -43,50 +381,133 @@ void Simulator::heap_pop_top() {
     const std::size_t last = first + 4 < n ? first + 4 : n;
     for (std::size_t c = first + 1; c < last; ++c)
       if (before(heap_[c], heap_[best])) best = c;
-    if (!before(heap_[best], moved)) break;
+    if (!before(heap_[best], e)) break;
     heap_[i] = heap_[best];
     i = best;
   }
-  heap_[i] = moved;
+  heap_[i] = e;
+}
+
+void Simulator::heap_pop_top() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+// Rebuild the heap without its corpses: filter live entries in place,
+// then Floyd-heapify (bottom-up sift-down, O(n)).
+void Simulator::compact_heap() {
+  std::size_t w = 0;
+  for (const HeapEntry& e : heap_) {
+    if (e.slot & kChainFlag) {
+      const std::uint32_t ci = e.slot & ~kChainFlag;
+      if (chains_[ci].count > 0)
+        heap_[w++] = e;
+      else
+        free_chain(ci);
+    } else if (node(e.slot).seq == e.seq &&
+               node(e.slot).loc == detail::kLocHeap) {
+      heap_[w++] = e;
+    }
+  }
+  heap_.resize(w);
+  if (w > 1)
+    for (std::size_t i = (w - 2) >> 2;; --i) {
+      sift_down(i);
+      if (i == 0) break;
+    }
+  stale_heap_ = 0;
 }
 
 bool Simulator::heap_settle_top() {
   while (!heap_.empty()) {
     const HeapEntry& top = heap_[0];
-    if (node(top.slot).seq == top.seq) return true;
-    heap_pop_top();  // stale: the event was cancelled (slot maybe recycled)
+    if (top.slot & kChainFlag) {
+      const std::uint32_t ci = top.slot & ~kChainFlag;
+      if (chains_[ci].count > 0) return true;
+      free_chain(ci);  // fully cancelled chain
+    } else if (node(top.slot).seq == top.seq &&
+               node(top.slot).loc == detail::kLocHeap) {
+      return true;
+    }
+    RRTCP_DASSERT(stale_heap_ > 0);
+    --stale_heap_;
+    heap_pop_top();
   }
   return false;
 }
 
-void Simulator::fire_top() {
-  const HeapEntry top = heap_[0];
-  heap_pop_top();
-  detail::EventNode& n = node(top.slot);
-  RRTCP_ASSERT(top.at >= now_);
-  now_ = top.at;
+bool Simulator::settle_ready(std::int64_t limit_ps) {
+  for (;;) {
+    const bool live = heap_settle_top();
+    if (wheel_count_ == 0) return live;
+    // The wheel can only hold events at wheel_lb_ps_ or later, so a live
+    // heap top strictly earlier than that is globally next already.
+    if (live && heap_[0].at.ps() < wheel_lb_ps_) return true;
+    // Nothing in the wheel is due within the limit: leave it staged.
+    if (wheel_lb_ps_ > limit_ps) return live;
+    advance_wheel_once();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
+void Simulator::fire_node(std::uint32_t slot, detail::EventNode& n) {
+  RRTCP_ASSERT(n.at_ps >= now_.ps());
+  now_ = Time::picoseconds(n.at_ps);
   // Consume the occupancy before invoking so the handle reports "not
   // pending" and a self-cancel inside the callback is a no-op. The slot
   // returns to the free list only after the callback finishes — its
   // captures live in the slot's inline buffer.
   n.seq = 0;
+  n.loc = detail::kLocFree;
+  --live_events_;
   ++executed_;
   n.fn.consume();
-  free_slot(top.slot);
+  free_slot(slot);
+}
+
+void Simulator::fire_next() {
+  const HeapEntry top = heap_[0];
+  if (top.slot & kChainFlag) {
+    // Fire exactly one member (the head = smallest seq) per call, so
+    // step()'s one-event contract holds. The shared entry is popped only
+    // once its last member is gone — and is popped *before* the callback
+    // runs, because the callback may cancel elsewhere and trigger a heap
+    // compaction that would reap (and recycle) an empty chain itself.
+    const std::uint32_t ci = top.slot & ~kChainFlag;
+    Chain& c = chains_[ci];
+    const std::uint32_t slot = c.head;
+    detail::EventNode& n = node(slot);
+    c.head = n.next;
+    if (c.head == detail::kNilLink)
+      c.tail = detail::kNilLink;
+    else
+      node(c.head).prev = detail::kNilLink;
+    if (--c.count == 0) {
+      heap_pop_top();
+      free_chain(ci);
+    }
+    fire_node(slot, n);
+  } else {
+    heap_pop_top();
+    fire_node(top.slot, node(top.slot));
+  }
 }
 
 bool Simulator::step() {
   // Entries cancelled after insertion are discarded lazily here.
-  if (!heap_settle_top()) return false;
-  fire_top();
+  if (!settle_ready(kMaxPs)) return false;
+  fire_next();
   return true;
 }
 
 std::uint64_t Simulator::run() {
   stopped_ = false;
   std::uint64_t n = 0;
-  while (!stopped_ && heap_settle_top()) {
-    fire_top();
+  while (!stopped_ && settle_ready(kMaxPs)) {
+    fire_next();
     ++n;
   }
   return n;
@@ -94,11 +515,13 @@ std::uint64_t Simulator::run() {
 
 std::uint64_t Simulator::run_until(Time deadline) {
   stopped_ = false;
+  const std::int64_t limit = deadline.ps();
   std::uint64_t n = 0;
-  while (!stopped_ && heap_settle_top()) {
-    // Peek at the next live event without executing it.
+  while (!stopped_ && settle_ready(limit)) {
+    // Peek at the next live event without executing it. Wheel buckets
+    // beyond the deadline stay staged (settle_ready never flushes them).
     if (heap_[0].at > deadline) break;
-    fire_top();
+    fire_next();
     ++n;
   }
   // Only a run that exhausted the work up to `deadline` advances the clock

@@ -3,8 +3,7 @@
 // The Simulator keys its event queue by (time, insertion sequence): events
 // scheduled for the same instant execute in the order they were scheduled,
 // which makes every run deterministic. Events are arbitrary callables;
-// cancellation is supported through EventHandle without removing entries
-// from the heap (lazy deletion).
+// cancellation is supported through EventHandle.
 //
 // Hot-path design (see DESIGN.md §11):
 //
@@ -15,20 +14,31 @@
 //    performs zero allocations; only captures larger than
 //    kEventInlineBytes fall back to the heap, and that fallback is
 //    counted (callback_heap_fallbacks()).
-//  * The priority queue is an implicit 4-ary min-heap over 24-byte
-//    (time, seq, slot) entries — shallower than a binary heap and with
-//    all child comparisons inside one or two cache lines, no per-entry
-//    ownership or pointer chasing.
+//  * The queue is two-tiered. Near-horizon events go into an implicit
+//    4-ary min-heap over 24-byte (time, seq, slot) entries. Far-future
+//    events — RTO timers, fault-plan windows — go into a hierarchical
+//    timer wheel (4 levels x 64 slots, level-0 granularity 2^26 ps
+//    ~ 67 us, total span ~ 18.8 min) where insert AND cancel are O(1)
+//    list operations that never leave stale entries behind. The wheel is
+//    a staging area only: buckets are flushed into the heap before any
+//    of their events can become the next to fire, so global (time, seq)
+//    FIFO order is preserved exactly.
+//  * Same-tick runs are batched: consecutive schedules for one instant
+//    collapse into a single heap entry backed by an intrusive chain, so
+//    one heap settle drains a whole burst (and a wheel bucket flush
+//    re-batches the runs it pushes). Chain members cancel in O(1).
 //  * A slot's occupancy is identified by the event's unique insertion
 //    sequence number, so stale heap entries (cancelled events whose slot
 //    was already recycled) are recognized and skipped on pop without any
-//    generation-counter wraparound hazard.
+//    generation-counter wraparound hazard. Stale entries are bounded: a
+//    compaction pass rebuilds the heap when more than half of it is dead.
 //
 // The pre-pool engine is preserved in sim/legacy_scheduler.hpp; the
 // scheduler-equivalence test pins the two to byte-identical execution
-// traces.
+// traces (including a heap-only mode with the wheel disabled).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -52,12 +62,33 @@ using EventFn = std::function<void()>;
 inline constexpr std::size_t kEventInlineBytes = 160;
 
 namespace detail {
+
+// Null link for the intrusive lists threaded through event slots.
+inline constexpr std::uint32_t kNilLink = 0xFFFFFFFFu;
+
+// Where an event currently lives. Cancellation and reschedule dispatch on
+// this: heap residents are removed lazily (their entry goes stale), wheel
+// and chain residents unlink in O(1).
+enum : std::uint8_t {
+  kLocFree = 0,    // slot unoccupied
+  kLocHeap = 1,    // single heap entry carries it
+  kLocChain = 2,   // member of a same-tick chain (one shared heap entry)
+  kLocWheel0 = 3,  // wheel level = loc - kLocWheel0
+};
+
 struct EventNode {
   SmallFn<kEventInlineBytes> fn;
   // Insertion sequence of the occupying event; 0 = slot free (or the
   // event was cancelled/fired and the slot is back on the free list).
   std::uint64_t seq = 0;
+  std::int64_t at_ps = 0;          // absolute fire time
+  std::uint32_t next = kNilLink;   // intrusive wheel-bucket / chain list
+  std::uint32_t prev = kNilLink;
+  std::uint32_t owner = 0;         // chain index while loc == kLocChain
+  std::uint8_t loc = kLocFree;
+  std::uint8_t bucket = 0;         // wheel bucket while wheel-resident
 };
+
 }  // namespace detail
 
 class Simulator;
@@ -87,7 +118,7 @@ class EventHandle {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -113,7 +144,9 @@ class Simulator {
     detail::EventNode& n = node(slot);
     if (!n.fn.emplace(std::forward<F>(fn))) ++fallback_allocs_;
     n.seq = ++last_seq_;
-    heap_push(HeapEntry{at, n.seq, slot});
+    n.at_ps = at.ps();
+    ++live_events_;
+    insert_event(slot, n);
     return EventHandle{this, slot, n.seq};
   }
 
@@ -121,6 +154,17 @@ class Simulator {
   template <typename F>
   EventHandle schedule_in(Time delay, F&& fn) {
     return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+
+  // Move a pending event to a new fire time, keeping its slot and stored
+  // callable (no capture destroy/re-emplace, no free-list round-trip).
+  // The event is re-sequenced as if it had been cancelled and scheduled
+  // afresh, so FIFO order among same-instant events is identical to a
+  // cancel() + schedule_at() pair. The handle passed in is dead afterwards;
+  // use the returned one. Asserts if `h` is not pending.
+  EventHandle reschedule_at(const EventHandle& h, Time at);
+  EventHandle reschedule_in(const EventHandle& h, Time delay) {
+    return reschedule_at(h, now_ + delay);
   }
 
   // Run until the event queue drains or stop() is called.
@@ -137,10 +181,12 @@ class Simulator {
   // Request that run()/run_until() return after the current event.
   void stop() { stopped_ = true; }
 
-  // Number of scheduled entries still in the queue. Entries cancelled via
-  // EventHandle are removed lazily, so this is an upper bound on the number
-  // of events that will actually fire.
-  std::size_t pending_events() const { return heap_.size(); }
+  // Number of live events waiting to fire. Cancelled events are excluded
+  // immediately (even though a lazily-removed heap entry may still be
+  // physically present — see heap_entries()/stale_heap_entries()).
+  std::size_t pending_events() const {
+    return static_cast<std::size_t>(live_events_);
+  }
 
   std::uint64_t events_executed() const { return executed_; }
 
@@ -149,6 +195,21 @@ class Simulator {
   std::size_t event_pool_slots() const { return chunks_.size() * kChunkSize; }
   // Events whose capture exceeded kEventInlineBytes and hit the heap.
   std::uint64_t callback_heap_fallbacks() const { return fallback_allocs_; }
+  // Physical heap entries, including lazily-cancelled (stale) ones.
+  std::size_t heap_entries() const { return heap_.size(); }
+  std::size_t stale_heap_entries() const { return stale_heap_; }
+  // Events currently staged in the timer wheel.
+  std::size_t wheel_events() const { return wheel_count_; }
+
+  // Test hook: route every event through the heap (the pre-wheel shape).
+  // The differential suite runs the randomized workloads in both modes.
+  // May only be toggled while the wheel is empty.
+  void set_timer_wheel_enabled(bool on) {
+    RRTCP_ASSERT_MSG(wheel_count_ == 0,
+                     "cannot toggle the timer wheel while it holds events");
+    wheel_enabled_ = on;
+  }
+  bool timer_wheel_enabled() const { return wheel_enabled_; }
 
  private:
   friend class EventHandle;
@@ -156,7 +217,21 @@ class Simulator {
   struct HeapEntry {
     Time at;
     std::uint64_t seq;
+    // Slot index of a single event, or kChainFlag | chain index for a
+    // batched same-tick run.
     std::uint32_t slot;
+  };
+  static constexpr std::uint32_t kChainFlag = 0x80000000u;
+
+  // A same-tick run: seq-contiguous events at one instant sharing a single
+  // heap entry keyed by (at, seq of the first member). Members form an
+  // intrusive doubly-linked list through their EventNodes and fire head-
+  // first, which is exactly ascending-seq order.
+  struct Chain {
+    std::uint32_t head;
+    std::uint32_t tail;
+    std::uint32_t count;
+    std::int64_t at_ps;
   };
 
   // Min-order on (at, seq): FIFO among events at the same instant.
@@ -168,6 +243,21 @@ class Simulator {
   static constexpr std::size_t kChunkShift = 9;
   static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
 
+  // Timer-wheel geometry. Level k buckets are 2^(kWheelShift0 + 6k) ps
+  // wide: ~67 us, ~4.3 ms, ~275 ms, ~17.6 s — level 3 spans ~18.8 min.
+  // Events past the whole span (rare: watchdog horizons) use the heap.
+  static constexpr int kWheelLevels = 4;
+  static constexpr int kWheelSlotBits = 6;
+  static constexpr int kWheelSlots = 1 << kWheelSlotBits;
+  static constexpr int kWheelShift0 = 26;
+  static constexpr std::int64_t kMaxPs = INT64_MAX;
+  static constexpr std::int64_t kNoCache = -1;
+
+  // Compact the heap once it is more than half stale (and big enough for
+  // the rebuild to be worth it). Bounds heap memory at ~2x the live count
+  // under cancel storms.
+  static constexpr std::size_t kCompactMin = 1024;
+
   detail::EventNode& node(std::uint32_t slot) {
     return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
   }
@@ -175,10 +265,11 @@ class Simulator {
     return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
   }
 
-  // Slot alloc/free and heap_push are the per-schedule fast path; they are
-  // defined inline (below the class) so schedule_at() — itself a template
-  // instantiated at every call site — compiles down to straight-line code
-  // with no out-of-line calls except when the pool has to grow.
+  // Slot alloc/free, classification, and heap_push are the per-schedule
+  // fast path; they are defined inline (below the class) so schedule_at()
+  // — itself a template instantiated at every call site — compiles down
+  // to straight-line code with no out-of-line calls except when the pool
+  // has to grow, a same-tick run forms, or the event is wheel-bound.
   std::uint32_t alloc_slot() {
     if (free_.empty()) grow_pool();
     const std::uint32_t slot = free_.back();
@@ -193,6 +284,48 @@ class Simulator {
     return seq != 0 && node(slot).seq == seq;
   }
 
+  // Route a freshly-sequenced node into wheel, chain, or heap.
+  void insert_event(std::uint32_t slot, detail::EventNode& n) {
+    if (wheel_enabled_ &&
+        (n.at_ps >> kWheelShift0) > (wheel_now_ps_ >> kWheelShift0)) {
+      insert_far(slot, n);
+      return;
+    }
+    insert_near(slot, n);
+  }
+
+  // Near-horizon (or wheel-overflow): heap entry, with the same-tick run
+  // cache deciding whether this event extends an open chain.
+  void insert_near(std::uint32_t slot, detail::EventNode& n) {
+    if (n.at_ps == cache_at_ps_) {
+      insert_same_tick(slot, n);
+      return;
+    }
+    n.loc = detail::kLocHeap;
+    cache_at_ps_ = n.at_ps;
+    cache_ref_ = slot;
+    cache_seq_ = n.seq;
+    cache_is_chain_ = false;
+    heap_push(HeapEntry{Time::picoseconds(n.at_ps), n.seq, slot});
+  }
+
+  void insert_far(std::uint32_t slot, detail::EventNode& n);
+  void insert_same_tick(std::uint32_t slot, detail::EventNode& n);
+
+  // Wheel internals (simulator.cpp).
+  void wheel_link(int level, std::uint32_t slot, detail::EventNode& n);
+  void wheel_unlink(detail::EventNode& n);
+  void advance_wheel_once();
+  void recompute_wheel_lb();
+
+  // Chain internals.
+  std::uint32_t alloc_chain(std::int64_t at_ps);
+  void free_chain(std::uint32_t ci) { free_chains_.push_back(ci); }
+  std::uint32_t upgrade_to_chain(std::uint32_t anchor_slot);
+  void chain_append(std::uint32_t ci, std::uint32_t slot,
+                    detail::EventNode& n);
+  void chain_unlink(detail::EventNode& n);
+
   void heap_push(HeapEntry e) {
     std::size_t i = heap_.size();
     heap_.push_back(e);
@@ -204,15 +337,90 @@ class Simulator {
     }
     heap_[i] = e;
   }
+  void sift_down(std::size_t i);
   void heap_pop_top();
   // Drops stale (cancelled) entries off the top; true if a live top remains.
   bool heap_settle_top();
-  // Executes heap_[0]; caller must have settled the top first.
-  void fire_top();
+  // Settles the heap against the wheel: flushes every wheel bucket that
+  // could hold an event due at or before min(heap top, limit_ps), then
+  // reports whether a live heap top exists. After it returns true,
+  // heap_[0] is the globally next event in (at, seq) order.
+  bool settle_ready(std::int64_t limit_ps);
+  // Executes the next event (one chain member at most per call); caller
+  // must have settle_ready() == true.
+  void fire_next();
+  void fire_node(std::uint32_t slot, detail::EventNode& n);
+  // Lazy-cancellation bookkeeping: count a newly-dead heap entry and
+  // compact when the heap is mostly corpses.
+  void note_stale() {
+    if (++stale_heap_ >= kCompactMin && stale_heap_ * 2 > heap_.size())
+      compact_heap();
+  }
+  void compact_heap();
 
   std::vector<HeapEntry> heap_;
   std::vector<std::unique_ptr<detail::EventNode[]>> chunks_;
   std::vector<std::uint32_t> free_;
+
+  // Same-tick run cache: the instant and identity of the most recent heap
+  // insert, so the next same-instant insert can extend it into / along a
+  // chain. cache_seq_ is the seq of the single anchor, or of the chain's
+  // tail member — a mismatch means the anchor fired/cancelled/moved (or
+  // the chain index was recycled) and the cache is stale.
+  std::int64_t cache_at_ps_ = kNoCache;
+  std::uint32_t cache_ref_ = 0;
+  std::uint64_t cache_seq_ = 0;
+  bool cache_is_chain_ = false;
+
+  std::vector<Chain> chains_;
+  std::vector<std::uint32_t> free_chains_;
+
+  // Open same-instant runs during a wheel flush, keyed by instant in a
+  // small direct-mapped table (2-way probe, claim-once, never evicted
+  // within a flush). A bucket flush visits instants in list order, which
+  // interleaves arbitrarily — a single "current run" would only batch
+  // consecutive same-instant nodes (and, worse, could re-open an instant
+  // at a lower key and then absorb higher seqs past a mid-key entry,
+  // breaking FIFO). The table keeps one run per instant alive for the
+  // whole flush with a monotone seq high-water mark: a node batches only
+  // if its seq exceeds everything already emitted for that instant, so
+  // chain member ranges of same-instant heap entries never overlap and
+  // the heap's (at, seq) tie-break yields exact insertion order.
+  // `epoch` tags entries per advance_wheel_once() call; stale entries
+  // from earlier flushes never match and need no clearing.
+  struct FlushRun {
+    std::int64_t at_ps = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t max_seq = 0;  // highest seq emitted for this instant
+    std::uint32_t ref = 0;      // anchor slot, or chain index if is_chain
+    bool is_chain = false;
+  };
+  static constexpr std::uint32_t kFlushRunSlots = 128;  // power of two
+  static std::uint32_t flush_slot_of(std::int64_t at_ps) {
+    return static_cast<std::uint32_t>(
+               (static_cast<std::uint64_t>(at_ps) * 0x9E3779B97F4A7C15ULL) >>
+               57) &
+           (kFlushRunSlots - 1);
+  }
+  std::array<FlushRun, kFlushRunSlots> flush_runs_{};
+  std::uint64_t flush_epoch_ = 0;
+
+  // Timer wheel: per-level bucket lists + occupancy bitmaps. wheel_now_ps_
+  // is the monotone "flushed up to" horizon (>= bucket start of everything
+  // already moved to the heap, <= every event still in the wheel);
+  // wheel_lb_ps_ caches a lower bound on the earliest wheel event (exact
+  // after a flush; may be stale-low after cancellations, which only costs
+  // a spurious flush, never a missed event).
+  std::uint32_t wheel_head_[kWheelLevels][kWheelSlots];
+  std::uint32_t wheel_tail_[kWheelLevels][kWheelSlots];
+  std::uint64_t wheel_bits_[kWheelLevels] = {};
+  std::int64_t wheel_now_ps_ = 0;
+  std::int64_t wheel_lb_ps_ = kMaxPs;
+  std::size_t wheel_count_ = 0;
+  bool wheel_enabled_ = true;
+
+  std::size_t stale_heap_ = 0;
+  std::uint64_t live_events_ = 0;
 
   Time now_ = Time::zero();
   std::uint64_t last_seq_ = 0;

@@ -27,13 +27,24 @@ class Timer {
   ~Timer() { cancel(); }
 
   // Arm (or re-arm) the timer to fire `delay` from now. An already-pending
-  // expiry is cancelled first.
+  // expiry is superseded.
   void schedule(Time delay) {
-    cancel();
     expiry_ = sim_.now() + delay;
+    if (handle_.pending()) {
+      // Re-arm fast path: move the pending event instead of cancelling and
+      // re-emplacing the same callable. This is the RTO shape — TCP re-arms
+      // on every transmission — and it keeps the event's pooled slot and
+      // stored capture; only the fire time and sequence change.
+      handle_ = sim_.reschedule_in(handle_, delay);
+      return;
+    }
+    // Dead handle (never armed, fired, or cancelled): no cancel round-trip
+    // is needed. The invariant the wheel refactor leans on — a consumed
+    // handle's cancel is a no-op, never a double-free — is asserted here.
+    RRTCP_DASSERT(!handle_.cancel());
     handle_ = sim_.schedule_in(delay, [this] {
-      // The handle is consumed by firing; mark not-pending before invoking
-      // the callback so the callback may re-arm the timer.
+      // The handle is consumed by firing; it reports not-pending before the
+      // callback is invoked, so the callback may re-arm the timer.
       on_fire_();
     });
   }

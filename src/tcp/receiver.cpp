@@ -19,6 +19,11 @@ TcpReceiver::TcpReceiver(sim::Simulator& sim, net::Node& node,
       delack_timer_{sim, [this] {
                       if (ack_pending_) send_ack(false);
                     }} {
+  // Pre-size the reassembly state so steady-state loss handling never
+  // touches the allocator: the hole count is window-bounded and the SACK
+  // recency list is hard-capped at 8 (9 = cap + 1 transient slot).
+  ooo_.reserve(64);
+  recent_blocks_.reserve(9);
   node_.attach_agent(flow_, this);
 }
 
@@ -79,44 +84,50 @@ void TcpReceiver::deliver_in_order(std::uint64_t seq, std::uint32_t len) {
   rcv_nxt_ += len;
   note_recent_block(seq, rcv_nxt_);
   // Pull any now-contiguous buffered intervals across.
-  while (!ooo_.empty()) {
-    auto it = ooo_.begin();
-    if (it->first > rcv_nxt_) break;
-    rcv_nxt_ = std::max(rcv_nxt_, it->second);
-    ooo_.erase(it);
+  std::size_t consumed = 0;
+  while (consumed < ooo_.size() && ooo_[consumed].begin <= rcv_nxt_) {
+    rcv_nxt_ = std::max(rcv_nxt_, ooo_[consumed].end);
+    ++consumed;
   }
+  if (consumed > 0)
+    ooo_.erase(ooo_.begin(),
+               ooo_.begin() + static_cast<std::ptrdiff_t>(consumed));
   // Blocks at or below rcv_nxt_ are no longer reportable as SACK blocks.
-  std::erase_if(recent_blocks_,
-                [this](std::uint64_t b) { return b < rcv_nxt_ || !ooo_.count(b); });
+  std::erase_if(recent_blocks_, [this](std::uint64_t b) {
+    return b < rcv_nxt_ || find_ooo(b) == nullptr;
+  });
 }
 
 void TcpReceiver::store_out_of_order(std::uint64_t seq, std::uint32_t len) {
   std::uint64_t begin = seq;
   std::uint64_t end = seq + len;
-  // Merge with any overlapping or adjacent intervals.
-  auto it = ooo_.lower_bound(begin);
-  if (it != ooo_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second >= begin) {
-      begin = prev->first;
-      end = std::max(end, prev->second);
-      recent_blocks_.erase(
-          std::remove(recent_blocks_.begin(), recent_blocks_.end(),
-                      prev->first),
-          recent_blocks_.end());
-      ooo_.erase(prev);
-    }
+  // Merge with any overlapping or adjacent intervals: absorb a predecessor
+  // that reaches `begin`, then every successor starting at or before `end`.
+  auto ge = std::lower_bound(
+      ooo_.begin(), ooo_.end(), begin,
+      [](const OooInterval& iv, std::uint64_t b) { return iv.begin < b; });
+  std::size_t lo = static_cast<std::size_t>(ge - ooo_.begin());
+  std::size_t hi = lo;
+  if (lo > 0 && ooo_[lo - 1].end >= begin) {
+    --lo;
+    begin = ooo_[lo].begin;
+    end = std::max(end, ooo_[lo].end);
+    forget_recent_block(ooo_[lo].begin);
   }
-  while (true) {
-    it = ooo_.lower_bound(begin);
-    if (it == ooo_.end() || it->first > end) break;
-    end = std::max(end, it->second);
-    recent_blocks_.erase(std::remove(recent_blocks_.begin(),
-                                     recent_blocks_.end(), it->first),
-                         recent_blocks_.end());
-    ooo_.erase(it);
+  while (hi < ooo_.size() && ooo_[hi].begin <= end) {
+    end = std::max(end, ooo_[hi].end);
+    forget_recent_block(ooo_[hi].begin);
+    ++hi;
   }
-  ooo_[begin] = end;
+  // Replace the absorbed run [lo, hi) with the single merged interval.
+  if (hi == lo) {
+    ooo_.insert(ooo_.begin() + static_cast<std::ptrdiff_t>(lo),
+                OooInterval{begin, end});
+  } else {
+    ooo_[lo] = OooInterval{begin, end};
+    ooo_.erase(ooo_.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+               ooo_.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
   note_recent_block(begin, end);
 }
 
@@ -124,19 +135,32 @@ void TcpReceiver::note_recent_block(std::uint64_t begin, std::uint64_t end) {
   (void)end;
   // Only out-of-order intervals are SACK-reportable; in-order delivery
   // passes begin < rcv_nxt_ and is filtered in deliver_in_order().
+  forget_recent_block(begin);
+  recent_blocks_.insert(recent_blocks_.begin(), begin);
+  if (recent_blocks_.size() > 8) recent_blocks_.resize(8);
+}
+
+void TcpReceiver::forget_recent_block(std::uint64_t begin) {
   recent_blocks_.erase(
       std::remove(recent_blocks_.begin(), recent_blocks_.end(), begin),
       recent_blocks_.end());
-  recent_blocks_.push_front(begin);
-  while (recent_blocks_.size() > 8) recent_blocks_.pop_back();
+}
+
+const TcpReceiver::OooInterval* TcpReceiver::find_ooo(
+    std::uint64_t begin) const {
+  auto it = std::lower_bound(
+      ooo_.begin(), ooo_.end(), begin,
+      [](const OooInterval& iv, std::uint64_t b) { return iv.begin < b; });
+  if (it == ooo_.end() || it->begin != begin) return nullptr;
+  return &*it;
 }
 
 void TcpReceiver::fill_sack_blocks(net::TcpHeader& h) const {
   h.n_sack = 0;
   for (std::uint64_t begin : recent_blocks_) {
-    auto it = ooo_.find(begin);
-    if (it == ooo_.end()) continue;
-    h.sack[h.n_sack++] = net::SackBlock{it->first, it->second};
+    const OooInterval* iv = find_ooo(begin);
+    if (iv == nullptr) continue;
+    h.sack[h.n_sack++] = net::SackBlock{iv->begin, iv->end};
     if (h.n_sack == net::kMaxSackBlocks) break;
   }
 }
@@ -165,7 +189,7 @@ void TcpReceiver::send_ack(bool duplicate) {
 
 std::uint64_t TcpReceiver::buffered_out_of_order() const {
   std::uint64_t total = 0;
-  for (const auto& [b, e] : ooo_) total += e - b;
+  for (const OooInterval& iv : ooo_) total += iv.end - iv.begin;
   return total;
 }
 

@@ -9,10 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <optional>
+#include <vector>
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
@@ -80,11 +79,19 @@ class TcpReceiver final : public net::Agent {
   std::uint64_t buffered_out_of_order() const;
 
  private:
+  // A buffered out-of-order byte range [begin, end).
+  struct OooInterval {
+    std::uint64_t begin;
+    std::uint64_t end;
+  };
+
   void deliver_in_order(std::uint64_t seq, std::uint32_t len);
   void store_out_of_order(std::uint64_t seq, std::uint32_t len);
   void send_ack(bool duplicate);
   void fill_sack_blocks(net::TcpHeader& h) const;
   void note_recent_block(std::uint64_t begin, std::uint64_t end);
+  void forget_recent_block(std::uint64_t begin);
+  const OooInterval* find_ooo(std::uint64_t begin) const;
   void check_notify();
 
   sim::Simulator& sim_;
@@ -95,10 +102,18 @@ class TcpReceiver final : public net::Agent {
   ReceiverConfig cfg_;
 
   std::uint64_t rcv_nxt_ = 0;
-  // Out-of-order intervals [begin, end), non-overlapping, all > rcv_nxt_.
-  std::map<std::uint64_t, std::uint64_t> ooo_;
+  // Out-of-order intervals, non-overlapping, sorted by begin, all above
+  // rcv_nxt_. A flat sorted vector, not a node container: the interval
+  // count is bounded by the number of concurrent holes (a handful at any
+  // window size), and the vector's capacity is retained across loss
+  // episodes — so buffering a reordered segment costs zero allocations in
+  // steady state, where a std::map paid one node per out-of-order arrival
+  // (the dominant per-packet alloc in the e2e bench before this change).
+  std::vector<OooInterval> ooo_;
   // SACK recency: most recently updated blocks first, by begin offset.
-  std::deque<std::uint64_t> recent_blocks_;
+  // At most 8 entries (hard-capped), kept in a capacity-pinned vector for
+  // the same steady-state-allocation-free reason.
+  std::vector<std::uint64_t> recent_blocks_;
 
   // Delayed-ACK state.
   sim::Timer delack_timer_;

@@ -180,6 +180,50 @@ TEST(AllocRegression, GraphRoutingSteadyStateIsAllocationFree) {
   EXPECT_EQ(sim.callback_heap_fallbacks(), 0u);
 }
 
+// RTO-style timer churn: arm, re-arm (the reschedule fast path, which
+// keeps the pooled slot and its stored capture), and cancel across
+// far-future delays that live in the timer wheel. Once the pool is warm,
+// none of it may allocate — this is the per-transmission cost of every
+// TCP sender in the simulation.
+TEST(AllocRegression, TimerChurnSteadyStateIsAllocationFree) {
+  sim::Simulator sim;
+  constexpr int kFlows = 64;
+  sim::EventHandle handles[kFlows];
+  std::uint64_t fired = 0;
+
+  auto churn = [&](std::uint64_t rounds) {
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      for (int f = 0; f < kFlows; ++f) {
+        const auto rto = sim::Time::seconds(1) +
+                         sim::Time::microseconds((f * 31 + r * 7) % 997);
+        if (handles[f].pending()) {
+          handles[f] = sim.reschedule_in(handles[f], rto);
+        } else {
+          auto cb = [&fired] { ++fired; };
+          static_assert(sim::Simulator::fits_inline<decltype(cb)>());
+          handles[f] = sim.schedule_in(rto, cb);
+        }
+        if ((f + r) % 5 == 0) handles[f].cancel();
+      }
+      sim.run_until(sim.now() + sim::Time::milliseconds(1));
+    }
+    sim.run();
+  };
+
+  churn(64);  // warm: pool chunk, heap vector, chain table
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  constexpr std::uint64_t kRounds = 2'000;
+  churn(kRounds);
+  const std::uint64_t delta =
+      g_allocs.load(std::memory_order_relaxed) - before;
+
+  EXPECT_EQ(delta, 0u) << "allocations per re-arm round: "
+                       << static_cast<double>(delta) / kRounds;
+  EXPECT_GT(fired, 0u);
+  EXPECT_EQ(sim.callback_heap_fallbacks(), 0u);
+}
+
 // The packet rings behind both queue disciplines never allocate once
 // their buffers have grown to the working set.
 TEST(AllocRegression, QueueRingsSteadyStateAreAllocationFree) {

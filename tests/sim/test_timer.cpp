@@ -71,5 +71,47 @@ TEST(Timer, ReuseAfterFire) {
   EXPECT_EQ(fires, 2);
 }
 
+// The RTO shape: re-armed on every "transmission", it must fire exactly
+// once, at the expiry of the LAST schedule() — and the re-arm fast path
+// (reschedule, keeping the pooled slot) must not leak live events.
+TEST(Timer, ManyRearmsFireOnceAtTheLastExpiry) {
+  Simulator sim;
+  Time fired_at = Time::zero();
+  int fires = 0;
+  Timer t{sim, [&] {
+            ++fires;
+            fired_at = sim.now();
+          }};
+  for (int i = 1; i <= 100; ++i) {
+    t.schedule(Time::milliseconds(100 + i));
+    EXPECT_TRUE(t.pending());
+    EXPECT_EQ(t.expiry(), Time::milliseconds(100 + i));
+  }
+  EXPECT_EQ(sim.pending_events(), 1u);  // re-arms moved, never duplicated
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(fired_at, Time::milliseconds(200));
+  EXPECT_FALSE(t.pending());
+}
+
+// A fired timer's handle is consumed: its cancel is a no-op (the invariant
+// Timer::schedule() asserts before taking the fresh-schedule path), and
+// re-arming from that state works — including from inside the callback at
+// the instant of firing.
+TEST(Timer, FiredHandleCancelIsANoOpAndRearmWorks) {
+  Simulator sim;
+  int fires = 0;
+  Timer t{sim, [&] { ++fires; }};
+  t.schedule(Time::seconds(1));
+  sim.run();
+  EXPECT_FALSE(t.pending());
+  t.cancel();  // consumed handle: must be a harmless no-op
+  EXPECT_FALSE(t.pending());
+  t.schedule(Time::seconds(1));
+  EXPECT_TRUE(t.pending());
+  sim.run();
+  EXPECT_EQ(fires, 2);
+}
+
 }  // namespace
 }  // namespace rrtcp::sim

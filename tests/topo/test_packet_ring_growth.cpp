@@ -52,23 +52,38 @@ TEST(PacketRing, ReservePresizesToPowerOfTwo) {
   EXPECT_EQ(ring.capacity(), 128u);  // exactly filled, no growth
 }
 
-TEST(DropTail, RingCapacityTracksOccupancyHighWater) {
+TEST(DropTail, RingIsPreSizedToTheBufferCapacity) {
+  // A packet-capacity queue reserves its whole (power-of-two-rounded)
+  // depth at construction, so enqueue never allocates — even for a queue
+  // whose first packet arrives mid-run.
   net::DropTailQueue q{1'000};
+  EXPECT_EQ(q.ring_capacity(), 1024u);
   for (std::uint64_t s = 0; s < 20; ++s)
     ASSERT_TRUE(q.enqueue(test::make_data(1, s, 1000)));
   EXPECT_EQ(q.len_packets(), 20u);
-  EXPECT_EQ(q.ring_capacity(), 32u);  // grew 16 -> 32 for 20 packets
+  EXPECT_EQ(q.ring_capacity(), 1024u);  // no growth on use
   while (q.dequeue().has_value()) {
   }
-  EXPECT_EQ(q.ring_capacity(), 32u);  // high-water mark persists
+  EXPECT_EQ(q.ring_capacity(), 1024u);
+}
+
+TEST(DropTail, HugeNominalCapacityCapsTheReservation) {
+  // Beyond the reservation cap the ring falls back to amortized doubling,
+  // so a nominally enormous buffer doesn't pin memory it never uses.
+  net::DropTailQueue q{1'000'000};
+  EXPECT_EQ(q.ring_capacity(), 1024u);
+  for (std::uint64_t s = 0; s < 1025; ++s)
+    ASSERT_TRUE(q.enqueue(test::make_data(1, s, 1000)));
+  EXPECT_EQ(q.ring_capacity(), 2048u);  // doubled past the cap
 }
 
 // Reverse-path saturation: a reverse bulk flow with a large window parks
 // window-minus-BDP packets (~100 here) in the deep reverse drop-tail
-// buffer, forcing its PacketRing to double several times MID-simulation
-// while the forward flow's ACKs thread through the same queue. Growth must
-// be invisible: counters reconcile exactly and both flows keep moving.
-TEST(PacketRingGrowth, ReverseSaturationGrowsTheRingMidSimulation) {
+// buffer while the forward flow's ACKs thread through the same queue. The
+// ring is pre-sized at construction, so even this standing queue — far
+// past the old 16-slot minimum — never allocates mid-simulation: counters
+// reconcile exactly and both flows keep moving.
+TEST(PacketRingGrowth, ReverseSaturationNeverGrowsThePreSizedRing) {
   harness::ScenarioSpec spec;
   spec.name = "ring-growth";
   spec.seed = 5;
@@ -83,12 +98,15 @@ TEST(PacketRingGrowth, ReverseSaturationGrowsTheRingMidSimulation) {
   auto* dt = dynamic_cast<net::DropTailQueue*>(
       &sc.topology().reverse_bottleneck().queue());
   ASSERT_NE(dt, nullptr);
-  EXPECT_EQ(dt->ring_capacity(), 0u);  // nothing enqueued yet
+  const std::size_t reserved = dt->ring_capacity();
+  EXPECT_GT(reserved, 16u);  // pre-sized well past the old minimum
 
   sc.run();
 
-  EXPECT_GT(dt->ring_capacity(), 16u) << "reverse queue never outgrew the "
-                                         "minimum ring; saturation missing";
+  EXPECT_EQ(dt->ring_capacity(), reserved)
+      << "the pre-sized reverse ring should never grow mid-simulation";
+  EXPECT_GT(dt->len_packets(), 16u) << "reverse queue never built a deep "
+                                       "standing backlog; saturation missing";
   // Deep buffer: nothing dropped, every enqueue accounted for.
   const auto& st = dt->stats();
   EXPECT_EQ(st.dropped, 0u);
