@@ -36,6 +36,7 @@
 #include "harness/result_sink.hpp"
 #include "harness/scenario.hpp"
 #include "net/drop_tail.hpp"
+#include "net/node.hpp"
 #include "net/red.hpp"
 #include "sim/legacy_scheduler.hpp"
 #include "sim/simulator.hpp"
@@ -254,6 +255,52 @@ Measure run_reschedule(std::uint64_t rearms, int repeat) {
 }
 
 // ---------------------------------------------------------------------------
+// route_forward: the per-hop routing decision in isolation — a gateway's
+// FlatTable32 route lookup plus the virtual egress dispatch, no event
+// loop. The table carries 64 destinations (a sweep-scale topology), and
+// every 7th packet misses the table to exercise the default-route path a
+// real edge gateway takes for off-mesh traffic. units = hops; the steady
+// state must never touch the allocator.
+struct CountingHandler final : net::PacketHandler {
+  std::uint64_t delivered = 0;
+  void send(net::Packet) override { ++delivered; }
+};
+
+Measure run_route_forward(std::uint64_t hops, int repeat) {
+  constexpr std::uint32_t kDests = 64;
+  constexpr net::NodeId kOffMesh = 5000;  // not in the table -> default route
+  Measure best;
+  for (int r = 0; r < repeat; ++r) {
+    net::Node gw{1000};
+    std::vector<CountingHandler> sinks(kDests);
+    for (std::uint32_t d = 0; d < kDests; ++d) gw.add_route(d + 1, &sinks[d]);
+    CountingHandler fallback;
+    gw.set_default_route(&fallback);
+
+    net::Packet p = bench_packet(0);
+    auto hop = [&](std::uint64_t i) {
+      // Scramble the destination so successive probes don't stay pinned
+      // to one slot run; the multiplier is Knuth's 2^32 golden-ratio hash.
+      p.dst = i % 7 == 6
+                  ? kOffMesh
+                  : 1 + static_cast<net::NodeId>((i * 2654435761u) % kDests);
+      gw.receive(p);
+    };
+    for (std::uint64_t i = 0; i < 4096; ++i) hop(i);  // warm table + caches
+
+    const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < hops; ++i) hop(i);
+    Measure m;
+    m.wall_s = seconds_since(t0);
+    m.units = hops;
+    m.allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+    keep_best(best, m);
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
 // Queue disciplines: enqueue/dequeue round-trips through a warm queue.
 // After the warmup cycle fills the PacketRing to its working depth, the
 // steady state should touch the allocator zero times per packet.
@@ -434,6 +481,8 @@ int main(int argc, char** argv) {
       },
       queue_ops, repeat);
 
+  const Measure route_fwd = run_route_forward(queue_ops, repeat);
+
   const EndToEnd e2e_one = run_end_to_end(1, e2e_horizon, repeat);
   const EndToEnd e2e_ten = run_end_to_end(10, e2e_horizon, repeat);
 
@@ -454,6 +503,7 @@ int main(int argc, char** argv) {
   add("reschedule", "pooled", resched_pooled, "rearms");
   add("droptail_queue", "ring", droptail, "packets");
   add("red_queue", "ring", red, "packets");
+  add("route_forward", "flat_table", route_fwd, "hops");
   add("e2e_1flow", "pooled", e2e_one.packets, "packets");
   add("e2e_10flow_rr", "pooled", e2e_ten.packets, "packets");
   table.print();
@@ -487,7 +537,7 @@ int main(int argc, char** argv) {
       e2e_ten.steady_allocs_per_packet());
 
   if (write_json) {
-    harness::ResultSink sink{12};
+    harness::ResultSink sink{13};
     auto put = [&sink](std::size_t i, harness::Record rec) {
       sink.submit(i, std::move(rec), 0.0);
     };
@@ -502,7 +552,8 @@ int main(int argc, char** argv) {
     put(7, row("reschedule", "pooled", resched_pooled, "rearms"));
     put(8, row("droptail_queue", "ring", droptail, "packets"));
     put(9, row("red_queue", "ring", red, "packets"));
-    put(10, row("e2e_1flow", "pooled", e2e_one.packets, "packets")
+    put(10, row("route_forward", "flat_table", route_fwd, "hops"));
+    put(11, row("e2e_1flow", "pooled", e2e_one.packets, "packets")
                 .set("events_per_sec", e2e_one.events_per_sec)
                 .set("event_pool_slots", e2e_one.pool_slots)
                 .set("callback_heap_fallbacks",
@@ -510,7 +561,7 @@ int main(int argc, char** argv) {
                 .set("setup_allocs", e2e_one.setup_allocs)
                 .set("steady_allocs_per_packet",
                      e2e_one.steady_allocs_per_packet()));
-    put(11, row("e2e_10flow_rr", "pooled", e2e_ten.packets, "packets")
+    put(12, row("e2e_10flow_rr", "pooled", e2e_ten.packets, "packets")
                 .set("events_per_sec", e2e_ten.events_per_sec)
                 .set("setup_allocs", e2e_ten.setup_allocs)
                 .set("steady_allocs_per_packet",

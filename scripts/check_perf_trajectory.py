@@ -57,6 +57,7 @@ ZERO_ALLOC_ROWS = [
     ("reschedule", "pooled"),
     ("droptail_queue", "ring"),
     ("red_queue", "ring"),
+    ("route_forward", "flat_table"),
 ]
 
 

@@ -1,5 +1,8 @@
 #include "app/sender_factory.hpp"
 
+#include <algorithm>
+#include <array>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -59,11 +62,22 @@ std::unique_ptr<tcp::TcpSenderBase> SenderFactory::make(
 }
 
 void SenderFactory::print_registry(std::FILE* out) const {
+  // Listed alphabetically, not in enum order: the output is part of the
+  // CLIs' --list-variants surface (scripts grep it, docs quote it), so it
+  // must not reshuffle when a variant is added mid-enum.
+  std::array<std::size_t, kVariantCount> order{};
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < kVariantCount; ++i)
+    if (entries_[i].name != nullptr) order[n++] = i;
+  std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n),
+            [this](std::size_t a, std::size_t b) {
+              return std::strcmp(entries_[a].name, entries_[b].name) < 0;
+            });
   std::fprintf(out, "registered TCP sender variants:\n");
-  for (std::size_t i = 0; i < kVariantCount; ++i) {
-    if (entries_[i].name == nullptr) continue;
-    std::fprintf(out, "  %-10s (%s receiver)\n", entries_[i].name,
-                 entries_[i].sack_receiver ? "SACK" : "cumulative-ACK");
+  for (std::size_t k = 0; k < n; ++k) {
+    const Entry& e = entries_[order[k]];
+    std::fprintf(out, "  %-10s (%s receiver)\n", e.name,
+                 e.sack_receiver ? "SACK" : "cumulative-ACK");
   }
 }
 

@@ -229,7 +229,6 @@ void FaultInjector::send(net::Packet p) {
     auto release = [this, p = std::move(p), duplicate]() mutable {
       emerge(std::move(p), duplicate);
     };
-    static_assert(sim::Simulator::fits_inline<decltype(release)>());
     sim_.schedule_in(extra, std::move(release));
     return;
   }

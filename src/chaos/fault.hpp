@@ -119,7 +119,7 @@ class FaultInjector final : public net::PacketHandler {
   FaultInjector(sim::Simulator& sim, net::PacketHandler& inner, FaultPlan plan,
                 std::uint64_t seed, std::string name = "fault");
 
-  void send(net::Packet p) override;
+  RRTCP_HOT void send(net::Packet p) override;
 
   const FaultPlan& plan() const { return plan_; }
 
@@ -137,8 +137,8 @@ class FaultInjector final : public net::PacketHandler {
   };
 
   // Deliver (or swallow) a packet that finished its spike hold.
-  void emerge(net::Packet p, bool duplicate);
-  void forward(net::Packet p, bool duplicate);
+  RRTCP_HOT void emerge(net::Packet p, bool duplicate);
+  RRTCP_HOT void forward(net::Packet p, bool duplicate);
   bool blackholed(sim::Time now) const;
 
   sim::Simulator& sim_;

@@ -8,6 +8,7 @@
 
 #include "net/packet_ring.hpp"
 #include "net/queue_disc.hpp"
+#include "sim/hot.hpp"
 
 namespace rrtcp::net {
 
@@ -18,8 +19,8 @@ class DropTailQueue final : public QueueDisc {
   // capacity: max packets (kPackets) or max bytes (kBytes).
   explicit DropTailQueue(std::uint64_t capacity, Mode mode = Mode::kPackets);
 
-  bool enqueue(Packet p) override;
-  std::optional<Packet> dequeue() override;
+  RRTCP_HOT bool enqueue(Packet p) override;
+  RRTCP_HOT std::optional<Packet> dequeue() override;
   std::size_t len_packets() const override { return q_.size(); }
   std::uint64_t len_bytes() const override { return bytes_; }
 

@@ -1,0 +1,153 @@
+// Open-addressed flat hash table for the per-node forwarding state.
+//
+// Node used to key its route and agent tables with std::unordered_map,
+// which costs a pointer chase per bucket hop on every forwarded packet
+// and — worse for this repo — iterates in hash-bucket order, which is
+// the canonical nondeterminism hazard the rrtcp-nondeterministic-
+// iteration check exists to catch. FlatTable32 replaces it with a single
+// contiguous slot array:
+//
+//  * keys are 32-bit ids (NodeId / FlowId); the all-ones value
+//    (net::kInvalidNode / kInvalidFlow) doubles as the empty-slot
+//    sentinel, so a slot is exactly {key, value} with no metadata byte;
+//  * lookup is Fibonacci-hash + linear probing over a power-of-two
+//    array — one cache line covers four slots, and the expected probe
+//    length at the 0.75 load cap is ~1.5;
+//  * erase uses backward-shift deletion (no tombstones), so probe
+//    chains never degrade over interpose/detach churn;
+//  * iteration (for_each) walks slots in array order. That order is a
+//    pure function of the insertion/erase history, never of pointer
+//    values or a hash-seed — identical runs iterate identically, which
+//    is what makes replace_route_target() trace-safe.
+//
+// The table only allocates in reserve()/grow (amortized, setup-time);
+// find() is allocation-free and lives on the per-packet forwarding path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "sim/hot.hpp"
+
+namespace rrtcp::net {
+
+template <typename V>
+class FlatTable32 {
+ public:
+  // All-ones key marks an empty slot; ids never take this value
+  // (it is net::kInvalidNode / the invalid flow id).
+  static constexpr std::uint32_t kEmptyKey = 0xFFFFFFFFu;
+
+  FlatTable32() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Pre-size for at least `n` entries without rehashing.
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 3 < n * 4) cap <<= 1;  // keep load <= 0.75
+    if (cap > capacity()) rehash(cap);
+  }
+
+  // Insert `key` -> `value`, overwriting any existing entry.
+  void insert_or_assign(std::uint32_t key, V value) {
+    RRTCP_DASSERT(key != kEmptyKey);
+    if (slots_.empty() || (size_ + 1) * 4 > capacity() * 3)
+      rehash(slots_.empty() ? kMinCapacity : capacity() * 2);
+    std::uint32_t i = index_of(key);
+    while (slots_[i].key != kEmptyKey && slots_[i].key != key)
+      i = (i + 1) & mask_;
+    if (slots_[i].key == kEmptyKey) ++size_;
+    slots_[i] = Slot{key, value};
+  }
+
+  // Pointer to the value for `key`, or nullptr. Allocation-free.
+  RRTCP_HOT V* find(std::uint32_t key) {
+    if (size_ == 0) return nullptr;
+    std::uint32_t i = index_of(key);
+    while (slots_[i].key != kEmptyKey) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  RRTCP_HOT const V* find(std::uint32_t key) const {
+    return const_cast<FlatTable32*>(this)->find(key);
+  }
+
+  // Remove `key` if present; true if an entry was removed. Backward-shift
+  // deletion keeps every remaining probe chain contiguous (no tombstones).
+  bool erase(std::uint32_t key) {
+    if (size_ == 0) return false;
+    std::uint32_t i = index_of(key);
+    while (slots_[i].key != key) {
+      if (slots_[i].key == kEmptyKey) return false;
+      i = (i + 1) & mask_;
+    }
+    std::uint32_t hole = i;
+    for (std::uint32_t j = (hole + 1) & mask_; slots_[j].key != kEmptyKey;
+         j = (j + 1) & mask_) {
+      // Shift j back into the hole unless its home position lies beyond
+      // the hole (cyclically) — the standard backward-shift condition.
+      const std::uint32_t home = index_of(slots_[j].key);
+      const std::uint32_t dist = (j - home) & mask_;
+      if (dist >= ((j - hole) & mask_)) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    slots_[hole].key = kEmptyKey;
+    slots_[hole].value = V{};
+    --size_;
+    return true;
+  }
+
+  // Visit every (key, value&) in slot-array order — deterministic across
+  // runs with the same insertion/erase history. The callback may mutate
+  // the value but must not insert or erase.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Slot& s : slots_)
+      if (s.key != kEmptyKey) fn(s.key, s.value);
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_)
+      if (s.key != kEmptyKey) fn(s.key, s.value);
+  }
+
+ private:
+  struct Slot {
+    std::uint32_t key = kEmptyKey;
+    V value{};
+  };
+  static constexpr std::size_t kMinCapacity = 8;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  // Fibonacci hashing: golden-ratio multiply spreads consecutive ids
+  // (the common NodeId pattern 0,1,2,...) across the table.
+  std::uint32_t index_of(std::uint32_t key) const {
+    return static_cast<std::uint32_t>(
+               (static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ULL) >>
+               32) &
+           mask_;
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    mask_ = static_cast<std::uint32_t>(new_cap - 1);
+    size_ = 0;
+    for (const Slot& s : old)
+      if (s.key != kEmptyKey) insert_or_assign(s.key, s.value);
+  }
+
+  std::vector<Slot> slots_;
+  std::uint32_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rrtcp::net

@@ -49,9 +49,9 @@ void Link::try_transmit() {
     RRTCP_ASSERT_MSG(dst_ != nullptr, "link has no destination node");
     dst_->receive(std::move(pkt));
   };
-  // The forwarding path must stay allocation-free: both per-packet events
-  // have to fit the scheduler's inline capture buffer.
-  static_assert(sim::Simulator::fits_inline<decltype(deliver)>());
+  // The forwarding path must stay allocation-free: the rrtcp-smallfn-inline
+  // check verifies at every schedule call site that the capture fits the
+  // scheduler's inline buffer.
   // Absolute serialization-end computed once for both events. Scheduling
   // deliver *before* release is load-bearing: the insertion-sequence order
   // is part of the pinned legacy-equivalence traces, and the scheduler's
@@ -64,7 +64,6 @@ void Link::try_transmit() {
     busy_ = false;
     try_transmit();
   };
-  static_assert(sim::Simulator::fits_inline<decltype(release)>());
   sim_.schedule_at(done, std::move(release));
 }
 

@@ -56,7 +56,7 @@ class Link final : public PacketHandler {
 
   // Offer a packet to the link. It may be dropped by the loss model or the
   // queue; otherwise it is delivered to dst() after queueing + tx + delay.
-  void send(Packet p) override;
+  RRTCP_HOT void send(Packet p) override;
 
   QueueDisc& queue() { return *queue_; }
   const QueueDisc& queue() const { return *queue_; }
@@ -75,7 +75,7 @@ class Link final : public PacketHandler {
   double utilization(sim::Time now) const;
 
  private:
-  void try_transmit();
+  RRTCP_HOT void try_transmit();
 
   sim::Simulator& sim_;
   LinkConfig cfg_;

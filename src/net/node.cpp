@@ -7,17 +7,17 @@ namespace rrtcp::net {
 
 void Node::receive(Packet p) {
   if (p.dst == id_) {
-    auto it = agents_.find(p.flow);
-    if (it == agents_.end()) {
+    Agent** agent = agents_.find(p.flow);
+    if (agent == nullptr) {
       ++undeliverable_;
       return;
     }
-    it->second->receive(std::move(p));
+    (*agent)->receive(std::move(p));
     return;
   }
   // Forward.
   PacketHandler* out = default_route_;
-  if (auto it = routes_.find(p.dst); it != routes_.end()) out = it->second;
+  if (PacketHandler** hit = routes_.find(p.dst); hit != nullptr) out = *hit;
   if (out == nullptr) {
     ++undeliverable_;
     return;
@@ -28,12 +28,12 @@ void Node::receive(Packet p) {
 
 int Node::replace_route_target(PacketHandler* from, PacketHandler* to) {
   int replaced = 0;
-  for (auto& [dst, handler] : routes_) {
+  routes_.for_each([&](NodeId /*dst*/, PacketHandler*& handler) {
     if (handler == from) {
       handler = to;
       ++replaced;
     }
-  }
+  });
   if (default_route_ == from) {
     default_route_ = to;
     ++replaced;

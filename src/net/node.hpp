@@ -4,12 +4,17 @@
 // plus an optional default route. End hosts typically have only a default
 // route; gateways have per-destination entries. Local delivery dispatches
 // on FlowId, so multiple connections can terminate on one node.
+//
+// Both tables are open-addressed flat arrays (net/flat_table.hpp): the
+// per-packet lookup is a Fibonacci-hash probe over contiguous slots, and
+// every iteration the node performs is in deterministic slot order.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "net/flat_table.hpp"
 #include "net/packet.hpp"
+#include "sim/hot.hpp"
 
 namespace rrtcp::net {
 
@@ -38,10 +43,14 @@ class Node {
 
   // Attach `agent` as the local endpoint for `flow`. One agent per flow per
   // node; re-attaching replaces (used by tests).
-  void attach_agent(FlowId flow, Agent* agent) { agents_[flow] = agent; }
+  void attach_agent(FlowId flow, Agent* agent) {
+    agents_.insert_or_assign(flow, agent);
+  }
   void detach_agent(FlowId flow) { agents_.erase(flow); }
 
-  void add_route(NodeId dst, PacketHandler* link) { routes_[dst] = link; }
+  void add_route(NodeId dst, PacketHandler* link) {
+    routes_.insert_or_assign(dst, link);
+  }
   void set_default_route(PacketHandler* link) { default_route_ = link; }
 
   // Swap every route (and the default) currently pointing at `from` to
@@ -54,18 +63,18 @@ class Node {
   // Packet arriving at this node (from a link, or injected by a local
   // agent). Locally-addressed packets go to the matching agent; everything
   // else is forwarded. Packets with no agent/route are counted and dropped.
-  void receive(Packet p);
+  RRTCP_HOT void receive(Packet p);
 
   // Convenience for agents: identical to receive(), reads as "transmit".
-  void inject(Packet p) { receive(std::move(p)); }
+  RRTCP_HOT void inject(Packet p) { receive(std::move(p)); }
 
   std::uint64_t undeliverable() const { return undeliverable_; }
   std::uint64_t forwarded() const { return forwarded_; }
 
  private:
   NodeId id_;
-  std::unordered_map<FlowId, Agent*> agents_;
-  std::unordered_map<NodeId, PacketHandler*> routes_;
+  FlatTable32<Agent*> agents_;
+  FlatTable32<PacketHandler*> routes_;
   PacketHandler* default_route_ = nullptr;
   std::uint64_t undeliverable_ = 0;
   std::uint64_t forwarded_ = 0;

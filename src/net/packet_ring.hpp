@@ -15,6 +15,7 @@
 
 #include "net/packet.hpp"
 #include "sim/assert.hpp"
+#include "sim/hot.hpp"
 
 namespace rrtcp::net {
 
@@ -27,7 +28,7 @@ class PacketRing {
   // Slots currently held (high-water mark of the queue, rounded up).
   std::size_t capacity() const { return buf_.size(); }
 
-  void push_back(Packet p) {
+  RRTCP_HOT void push_back(Packet p) {
     if (count_ == buf_.size()) grow();
     buf_[(head_ + count_) & mask_] = std::move(p);
     ++count_;
@@ -51,7 +52,7 @@ class PacketRing {
     return buf_[(head_ + count_ - 1) & mask_];
   }
 
-  Packet pop_front() {
+  RRTCP_HOT Packet pop_front() {
     RRTCP_DASSERT(count_ > 0);
     Packet p = std::move(buf_[head_]);
     head_ = (head_ + 1) & mask_;
@@ -72,9 +73,11 @@ class PacketRing {
     return c;
   }
 
-  void grow() { grow_to(buf_.empty() ? kMinCapacity : buf_.size() * 2); }
+  RRTCP_COLD void grow() {
+    grow_to(buf_.empty() ? kMinCapacity : buf_.size() * 2);
+  }
 
-  void grow_to(std::size_t new_cap) {
+  RRTCP_COLD void grow_to(std::size_t new_cap) {
     std::vector<Packet> next(new_cap);
     for (std::size_t i = 0; i < count_; ++i)
       next[i] = std::move(buf_[(head_ + i) & mask_]);

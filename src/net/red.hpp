@@ -40,8 +40,8 @@ class RedQueue final : public QueueDisc {
  public:
   RedQueue(sim::Simulator& sim, RedConfig cfg);
 
-  bool enqueue(Packet p) override;
-  std::optional<Packet> dequeue() override;
+  RRTCP_HOT bool enqueue(Packet p) override;
+  RRTCP_HOT std::optional<Packet> dequeue() override;
   std::size_t len_packets() const override { return q_.size(); }
   std::uint64_t len_bytes() const override { return bytes_; }
 

@@ -1,0 +1,36 @@
+// Hot-path / cold-path annotations for the rrtcp-tidy static contracts.
+//
+// RRTCP_HOT marks a function as part of the per-event / per-packet hot
+// path: the rrtcp-hot-path-alloc check (tools/tidy) walks everything a hot
+// function transitively calls within its translation unit and turns any
+// reachable allocation — operator new, make_unique/make_shared, allocating
+// std container methods — into a diagnostic. The 0-allocs/event and
+// 0-allocs/packet contracts (DESIGN.md §11) thereby become compile-time
+// errors under the tidy-plugin CI job instead of runtime bench findings.
+//
+// RRTCP_COLD marks an *audited* cold path reachable from hot code: a
+// function that may allocate, deliberately and rarely (pool/ring growth,
+// heap compaction, diagnostics). The checker does not descend into cold
+// functions. Marking something cold is a reviewed claim that its
+// allocations are amortized away in steady state — the runtime gates
+// (tests/sim/test_alloc_regression.cpp, bench_micro's alloc columns, and
+// scripts/check_perf_trajectory.py) remain the ground truth that the
+// claim holds.
+//
+// Allocating statements that stay *inside* a hot function because the
+// backing container's capacity is provably pinned (reserved at
+// construction, hard-capped) are suppressed in place with
+//   // NOLINT(rrtcp-hot-path-alloc): <justification>
+// — see DESIGN.md §14 for the suppression discipline.
+//
+// Under GCC the annotations expand to nothing: [[clang::annotate]] is a
+// Clang extension, and -Wattributes + -Werror would otherwise reject it.
+#pragma once
+
+#if defined(__clang__)
+#define RRTCP_HOT [[clang::annotate("rrtcp::hot")]]
+#define RRTCP_COLD [[clang::annotate("rrtcp::cold")]]
+#else
+#define RRTCP_HOT
+#define RRTCP_COLD
+#endif

@@ -235,6 +235,10 @@ std::uint32_t Simulator::alloc_chain(std::int64_t at_ps) {
   std::uint32_t ci;
   if (free_chains_.empty()) {
     ci = static_cast<std::uint32_t>(chains_.size());
+    // chains_ is reserved in the constructor and only grows past that
+    // under pathological same-tick nesting; steady state recycles through
+    // free_chains_.
+    // NOLINTNEXTLINE(rrtcp-hot-path-alloc)
     chains_.push_back(Chain{});
   } else {
     ci = free_chains_.back();

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "sim/assert.hpp"
+#include "sim/hot.hpp"
 #include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
@@ -134,7 +135,7 @@ class Simulator {
 
   // Schedule `fn` to run at absolute time `at` (must be >= now()).
   template <typename F>
-  EventHandle schedule_at(Time at, F&& fn) {
+  RRTCP_HOT EventHandle schedule_at(Time at, F&& fn) {
     RRTCP_ASSERT_MSG(at >= now_, "cannot schedule an event in the past");
     if constexpr (requires { static_cast<bool>(fn); }) {
       RRTCP_ASSERT_MSG(static_cast<bool>(fn),
@@ -152,7 +153,7 @@ class Simulator {
 
   // Schedule `fn` to run `delay` from now (delay must be >= 0).
   template <typename F>
-  EventHandle schedule_in(Time delay, F&& fn) {
+  RRTCP_HOT EventHandle schedule_in(Time delay, F&& fn) {
     return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
@@ -162,21 +163,21 @@ class Simulator {
   // afresh, so FIFO order among same-instant events is identical to a
   // cancel() + schedule_at() pair. The handle passed in is dead afterwards;
   // use the returned one. Asserts if `h` is not pending.
-  EventHandle reschedule_at(const EventHandle& h, Time at);
-  EventHandle reschedule_in(const EventHandle& h, Time delay) {
+  RRTCP_HOT EventHandle reschedule_at(const EventHandle& h, Time at);
+  RRTCP_HOT EventHandle reschedule_in(const EventHandle& h, Time delay) {
     return reschedule_at(h, now_ + delay);
   }
 
   // Run until the event queue drains or stop() is called.
   // Returns the number of events executed.
-  std::uint64_t run();
+  RRTCP_HOT std::uint64_t run();
 
   // Run until simulation time reaches `deadline` (events at exactly
   // `deadline` are executed), the queue drains, or stop() is called.
-  std::uint64_t run_until(Time deadline);
+  RRTCP_HOT std::uint64_t run_until(Time deadline);
 
   // Execute at most one pending event. Returns false if the queue is empty.
-  bool step();
+  RRTCP_HOT bool step();
 
   // Request that run()/run_until() return after the current event.
   void stop() { stopped_ = true; }
@@ -270,22 +271,27 @@ class Simulator {
   // — itself a template instantiated at every call site — compiles down
   // to straight-line code with no out-of-line calls except when the pool
   // has to grow, a same-tick run forms, or the event is wheel-bound.
-  std::uint32_t alloc_slot() {
+  RRTCP_HOT std::uint32_t alloc_slot() {
     if (free_.empty()) grow_pool();
     const std::uint32_t slot = free_.back();
     free_.pop_back();
     return slot;
   }
-  void free_slot(std::uint32_t slot) { free_.push_back(slot); }
-  void grow_pool();
+  RRTCP_HOT void free_slot(std::uint32_t slot) {
+    // free_ is reserved to the full pool size by grow_pool(), so this
+    // push_back never reallocates.
+    // NOLINTNEXTLINE(rrtcp-hot-path-alloc)
+    free_.push_back(slot);
+  }
+  RRTCP_COLD void grow_pool();
 
-  bool cancel_event(std::uint32_t slot, std::uint64_t seq);
+  RRTCP_HOT bool cancel_event(std::uint32_t slot, std::uint64_t seq);
   bool event_pending(std::uint32_t slot, std::uint64_t seq) const {
     return seq != 0 && node(slot).seq == seq;
   }
 
   // Route a freshly-sequenced node into wheel, chain, or heap.
-  void insert_event(std::uint32_t slot, detail::EventNode& n) {
+  RRTCP_HOT void insert_event(std::uint32_t slot, detail::EventNode& n) {
     if (wheel_enabled_ &&
         (n.at_ps >> kWheelShift0) > (wheel_now_ps_ >> kWheelShift0)) {
       insert_far(slot, n);
@@ -296,7 +302,7 @@ class Simulator {
 
   // Near-horizon (or wheel-overflow): heap entry, with the same-tick run
   // cache deciding whether this event extends an open chain.
-  void insert_near(std::uint32_t slot, detail::EventNode& n) {
+  RRTCP_HOT void insert_near(std::uint32_t slot, detail::EventNode& n) {
     if (n.at_ps == cache_at_ps_) {
       insert_same_tick(slot, n);
       return;
@@ -309,25 +315,35 @@ class Simulator {
     heap_push(HeapEntry{Time::picoseconds(n.at_ps), n.seq, slot});
   }
 
-  void insert_far(std::uint32_t slot, detail::EventNode& n);
-  void insert_same_tick(std::uint32_t slot, detail::EventNode& n);
+  RRTCP_HOT void insert_far(std::uint32_t slot, detail::EventNode& n);
+  RRTCP_HOT void insert_same_tick(std::uint32_t slot, detail::EventNode& n);
 
   // Wheel internals (simulator.cpp).
-  void wheel_link(int level, std::uint32_t slot, detail::EventNode& n);
-  void wheel_unlink(detail::EventNode& n);
-  void advance_wheel_once();
-  void recompute_wheel_lb();
+  RRTCP_HOT void wheel_link(int level, std::uint32_t slot,
+                            detail::EventNode& n);
+  RRTCP_HOT void wheel_unlink(detail::EventNode& n);
+  RRTCP_HOT void advance_wheel_once();
+  RRTCP_HOT void recompute_wheel_lb();
 
   // Chain internals.
-  std::uint32_t alloc_chain(std::int64_t at_ps);
-  void free_chain(std::uint32_t ci) { free_chains_.push_back(ci); }
-  std::uint32_t upgrade_to_chain(std::uint32_t anchor_slot);
-  void chain_append(std::uint32_t ci, std::uint32_t slot,
-                    detail::EventNode& n);
-  void chain_unlink(detail::EventNode& n);
+  RRTCP_HOT std::uint32_t alloc_chain(std::int64_t at_ps);
+  RRTCP_HOT void free_chain(std::uint32_t ci) {
+    // free_chains_ never outgrows chains_, whose growth is the audited
+    // (reserved, amortized) path.
+    // NOLINTNEXTLINE(rrtcp-hot-path-alloc)
+    free_chains_.push_back(ci);
+  }
+  RRTCP_HOT std::uint32_t upgrade_to_chain(std::uint32_t anchor_slot);
+  RRTCP_HOT void chain_append(std::uint32_t ci, std::uint32_t slot,
+                              detail::EventNode& n);
+  RRTCP_HOT void chain_unlink(detail::EventNode& n);
 
-  void heap_push(HeapEntry e) {
+  RRTCP_HOT void heap_push(HeapEntry e) {
     std::size_t i = heap_.size();
+    // heap_ is grow-only with a reserved floor; steady-state churn stays
+    // within the warmed capacity (compaction bounds it at ~2x live), so
+    // growth is amortized warm-up.
+    // NOLINTNEXTLINE(rrtcp-hot-path-alloc)
     heap_.push_back(e);
     while (i > 0) {
       const std::size_t parent = (i - 1) >> 2;
@@ -337,26 +353,26 @@ class Simulator {
     }
     heap_[i] = e;
   }
-  void sift_down(std::size_t i);
-  void heap_pop_top();
+  RRTCP_HOT void sift_down(std::size_t i);
+  RRTCP_HOT void heap_pop_top();
   // Drops stale (cancelled) entries off the top; true if a live top remains.
-  bool heap_settle_top();
+  RRTCP_HOT bool heap_settle_top();
   // Settles the heap against the wheel: flushes every wheel bucket that
   // could hold an event due at or before min(heap top, limit_ps), then
   // reports whether a live heap top exists. After it returns true,
   // heap_[0] is the globally next event in (at, seq) order.
-  bool settle_ready(std::int64_t limit_ps);
+  RRTCP_HOT bool settle_ready(std::int64_t limit_ps);
   // Executes the next event (one chain member at most per call); caller
   // must have settle_ready() == true.
-  void fire_next();
-  void fire_node(std::uint32_t slot, detail::EventNode& n);
+  RRTCP_HOT void fire_next();
+  RRTCP_HOT void fire_node(std::uint32_t slot, detail::EventNode& n);
   // Lazy-cancellation bookkeeping: count a newly-dead heap entry and
   // compact when the heap is mostly corpses.
-  void note_stale() {
+  RRTCP_HOT void note_stale() {
     if (++stale_heap_ >= kCompactMin && stale_heap_ * 2 > heap_.size())
       compact_heap();
   }
-  void compact_heap();
+  RRTCP_COLD void compact_heap();
 
   std::vector<HeapEntry> heap_;
   std::vector<std::unique_ptr<detail::EventNode[]>> chunks_;

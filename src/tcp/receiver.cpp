@@ -121,6 +121,10 @@ void TcpReceiver::store_out_of_order(std::uint64_t seq, std::uint32_t len) {
   }
   // Replace the absorbed run [lo, hi) with the single merged interval.
   if (hi == lo) {
+    // ooo_ reserves 64 slots in the constructor and the hole count is
+    // window-bounded; capacity is retained across loss episodes, so this
+    // insert shifts, never grows.
+    // NOLINTNEXTLINE(rrtcp-hot-path-alloc)
     ooo_.insert(ooo_.begin() + static_cast<std::ptrdiff_t>(lo),
                 OooInterval{begin, end});
   } else {
@@ -136,7 +140,12 @@ void TcpReceiver::note_recent_block(std::uint64_t begin, std::uint64_t end) {
   // Only out-of-order intervals are SACK-reportable; in-order delivery
   // passes begin < rcv_nxt_ and is filtered in deliver_in_order().
   forget_recent_block(begin);
+  // recent_blocks_ reserves 9 slots (hard cap 8 + the transient insert)
+  // in the constructor, so this front-insert shifts within pinned
+  // capacity and the resize below only ever shrinks.
+  // NOLINTNEXTLINE(rrtcp-hot-path-alloc)
   recent_blocks_.insert(recent_blocks_.begin(), begin);
+  // NOLINTNEXTLINE(rrtcp-hot-path-alloc)
   if (recent_blocks_.size() > 8) recent_blocks_.resize(8);
 }
 

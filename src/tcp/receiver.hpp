@@ -48,7 +48,7 @@ class TcpReceiver final : public net::Agent {
               net::NodeId peer, ReceiverConfig cfg = {});
   ~TcpReceiver() override;
 
-  void receive(net::Packet p) override;
+  RRTCP_HOT void receive(net::Packet p) override;
 
   // Next byte expected in order (the cumulative ACK value).
   std::uint64_t rcv_nxt() const { return rcv_nxt_; }
@@ -85,12 +85,12 @@ class TcpReceiver final : public net::Agent {
     std::uint64_t end;
   };
 
-  void deliver_in_order(std::uint64_t seq, std::uint32_t len);
-  void store_out_of_order(std::uint64_t seq, std::uint32_t len);
-  void send_ack(bool duplicate);
-  void fill_sack_blocks(net::TcpHeader& h) const;
-  void note_recent_block(std::uint64_t begin, std::uint64_t end);
-  void forget_recent_block(std::uint64_t begin);
+  RRTCP_HOT void deliver_in_order(std::uint64_t seq, std::uint32_t len);
+  RRTCP_HOT void store_out_of_order(std::uint64_t seq, std::uint32_t len);
+  RRTCP_HOT void send_ack(bool duplicate);
+  RRTCP_HOT void fill_sack_blocks(net::TcpHeader& h) const;
+  RRTCP_HOT void note_recent_block(std::uint64_t begin, std::uint64_t end);
+  RRTCP_HOT void forget_recent_block(std::uint64_t begin);
   const OooInterval* find_ooo(std::uint64_t begin) const;
   void check_notify();
 

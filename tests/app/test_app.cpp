@@ -1,7 +1,12 @@
 // Tests for the application layer: FTP sources and the flow factory.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 #include "app/flow_factory.hpp"
+#include "app/sender_factory.hpp"
 #include "app/ftp.hpp"
 #include "core/rr_sender.hpp"
 #include "net/dumbbell.hpp"
@@ -21,6 +26,29 @@ TEST(VariantNames, UnknownThrows) {
   EXPECT_THROW(variant_from_string("cubic"), std::invalid_argument);
   EXPECT_THROW(variant_from_string(""), std::invalid_argument);
   EXPECT_THROW(variant_from_string("RR"), std::invalid_argument);  // case
+}
+
+TEST(VariantNames, RegistryPrintsAlphabetically) {
+  // --list-variants output is a stable surface: alphabetical, one line
+  // per variant, independent of enum registration order.
+  char* buf = nullptr;
+  std::size_t len = 0;
+  std::FILE* mem = open_memstream(&buf, &len);
+  ASSERT_NE(mem, nullptr);
+  SenderFactory::instance().print_registry(mem);
+  std::fclose(mem);
+  const std::string got{buf, len};
+  std::free(buf);
+
+  EXPECT_EQ(got,
+            "registered TCP sender variants:\n"
+            "  linkung    (cumulative-ACK receiver)\n"
+            "  newreno    (cumulative-ACK receiver)\n"
+            "  reno       (cumulative-ACK receiver)\n"
+            "  rightedge  (cumulative-ACK receiver)\n"
+            "  rr         (cumulative-ACK receiver)\n"
+            "  sack       (SACK receiver)\n"
+            "  tahoe      (cumulative-ACK receiver)\n");
 }
 
 TEST(FlowFactory, BuildsTheRightSenderType) {

@@ -1,0 +1,41 @@
+// Lint-corpus fixture: MUST fire rrtcp-hot-path-alloc.
+// EXPECT: rrtcp-hot-path-alloc
+//
+// A hot-annotated per-event callback that reaches the allocator three
+// ways: an unpinned container push_back, a raw operator new, and (for the
+// plugin's transitive walk) a helper defined in this TU that allocates.
+#include <vector>
+
+#include "sim/hot.hpp"
+
+namespace corpus {
+
+class Recorder {
+ public:
+  RRTCP_HOT void on_event(int value) {
+    samples_.push_back(value);  // allocating container call in a hot body
+    note(value);
+  }
+
+  RRTCP_HOT int* borrow_scratch() {
+    return new int[4];  // raw operator new in a hot body
+  }
+
+ private:
+  void note(int value) {
+    // Reached transitively from the hot root on_event(); the plugin's
+    // in-TU call walk must still flag this allocation.
+    log_.push_back(value);
+  }
+
+  std::vector<int> samples_;
+  std::vector<int> log_;
+};
+
+int drive() {
+  Recorder r;
+  r.on_event(1);
+  return r.borrow_scratch()[0];
+}
+
+}  // namespace corpus

@@ -1,0 +1,32 @@
+// Lint-corpus fixture: MUST fire rrtcp-nondeterministic-iteration.
+// EXPECT: rrtcp-nondeterministic-iteration
+//
+// Iterating an unordered container (hash order) or a pointer-keyed map
+// (address order) in trace-affecting code makes the event trace depend on
+// the allocator and the hash seed — the exact bug class that broke
+// replayability before Node's tables went flat.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace corpus {
+
+struct Flow {
+  std::uint64_t bytes = 0;
+};
+
+std::uint64_t total_bytes(
+    const std::unordered_map<std::uint32_t, Flow>& flows) {
+  std::uint64_t total = 0;
+  for (const auto& kv : flows) total += kv.second.bytes;  // hash order
+  return total;
+}
+
+std::uint64_t drain(std::map<Flow*, std::uint64_t>& by_ptr) {
+  std::uint64_t total = 0;
+  for (auto it = by_ptr.begin(); it != by_ptr.end(); ++it)
+    total += it->second;  // pointer-keyed: address order
+  return total;
+}
+
+}  // namespace corpus

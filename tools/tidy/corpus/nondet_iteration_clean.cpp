@@ -1,0 +1,25 @@
+// Lint-corpus fixture: must stay clean under every rrtcp check.
+//
+// Deterministic iteration shapes: an integer-keyed ordered map, a sorted
+// vector, and index loops — order is a pure function of the data.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace corpus {
+
+std::uint64_t total(const std::map<std::uint32_t, std::uint64_t>& flows) {
+  std::uint64_t sum = 0;
+  for (const auto& kv : flows) sum += kv.second;  // key order: deterministic
+  return sum;
+}
+
+std::uint64_t sorted_total(std::vector<std::uint32_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) sum += ids[i];
+  return sum;
+}
+
+}  // namespace corpus

@@ -1,0 +1,20 @@
+// Lint-corpus fixture: MUST fire rrtcp-sim-time-equality.
+// EXPECT: rrtcp-sim-time-equality
+//
+// Exact ==/!= on floating sim-time: to_seconds() rounds picoseconds into
+// a double, so two logically-equal instants can compare unequal (and two
+// different instants equal) depending on magnitude. Compare Time values
+// (integer picoseconds) instead.
+#include "sim/time.hpp"
+
+namespace corpus {
+
+bool at_deadline(rrtcp::sim::Time now, rrtcp::sim::Time deadline) {
+  return now.to_seconds() == deadline.to_seconds();  // float equality
+}
+
+bool still_waiting(rrtcp::sim::Time now, rrtcp::sim::Time deadline) {
+  return now.to_seconds() != deadline.to_seconds();  // float inequality
+}
+
+}  // namespace corpus

@@ -1,0 +1,23 @@
+// Lint-corpus fixture: must stay clean under every rrtcp check.
+//
+// The sanctioned comparisons: Time-vs-Time (exact integer picoseconds)
+// and floating seconds under an explicit tolerance or an ordering test.
+#include <cmath>
+
+#include "sim/time.hpp"
+
+namespace corpus {
+
+bool at_deadline(rrtcp::sim::Time now, rrtcp::sim::Time deadline) {
+  return now == deadline;  // integer picoseconds: exact is exact
+}
+
+bool close_enough(rrtcp::sim::Time a, rrtcp::sim::Time b) {
+  return std::abs(a.to_seconds() - b.to_seconds()) < 1e-9;  // tolerance
+}
+
+bool past_deadline(rrtcp::sim::Time now, rrtcp::sim::Time deadline) {
+  return now.to_seconds() > deadline.to_seconds();  // ordering is fine
+}
+
+}  // namespace corpus

@@ -1,0 +1,26 @@
+// Lint-corpus fixture: MUST fire rrtcp-unnamed-rng.
+// EXPECT: rrtcp-unnamed-rng
+//
+// Every draw in this repo must come from a named stream derived from the
+// scenario seed (sim/rng.hpp). This file commits the three classic sins:
+// libc rand, std::random_device entropy, and wall-clock seeding.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace corpus {
+
+int libc_draw() {
+  return std::rand();  // not replayable from a scenario seed
+}
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // nondeterministic source
+  return rd();
+}
+
+std::mt19937 wall_clock_engine() {
+  return std::mt19937(static_cast<unsigned>(time(nullptr)));  // time-seeded
+}
+
+}  // namespace corpus

@@ -1,0 +1,23 @@
+// Lint-corpus fixture: must stay clean under every rrtcp check.
+//
+// The replayable pattern: all randomness flows from an explicit seed
+// through a deterministic mixer — the named-stream idiom of sim/rng.hpp.
+#include <cstdint>
+
+namespace corpus {
+
+// splitmix64 step: pure function of the passed-in state.
+std::uint64_t mix(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double uniform_from_seed(std::uint64_t seed) {
+  std::uint64_t stream = seed ^ 0xA5A5A5A5A5A5A5A5ULL;  // named stream
+  return static_cast<double>(mix(stream) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace corpus

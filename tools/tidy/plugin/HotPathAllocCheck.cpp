@@ -1,0 +1,149 @@
+#include "HotPathAllocCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/Twine.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::rrtcp {
+
+namespace {
+
+bool hasRrtcpAnnotation(const FunctionDecl* FD, StringRef Tag) {
+  if (FD == nullptr) return false;
+  for (const auto* A : FD->specific_attrs<AnnotateAttr>())
+    if (A->getAnnotation() == Tag) return true;
+  return false;
+}
+
+// Allocating member surface on std-namespace records. reserve() is
+// included: reserving on the hot path means the capacity plan failed.
+bool isAllocatingMember(StringRef Name) {
+  static const char* kMembers[] = {"push_back", "emplace_back", "push_front",
+                                   "emplace_front", "emplace", "insert",
+                                   "resize", "reserve", "assign", "append",
+                                   "insert_or_assign", "try_emplace"};
+  for (const char* M : kMembers)
+    if (Name == M) return true;
+  return false;
+}
+
+bool isMallocFamily(StringRef Name) {
+  return Name == "malloc" || Name == "calloc" || Name == "realloc" ||
+         Name == "strdup" || Name == "aligned_alloc";
+}
+
+bool inStdNamespace(const CXXRecordDecl* RD) {
+  if (RD == nullptr) return false;
+  const DeclContext* DC = RD->getDeclContext();
+  while (DC != nullptr && !DC->isTranslationUnit()) {
+    if (const auto* NS = dyn_cast<NamespaceDecl>(DC)) {
+      if (NS->isStdNamespace()) return true;
+    }
+    DC = DC->getParent();
+  }
+  return false;
+}
+
+// Walks a hot function's body, descending into callees defined in this TU
+// outside system headers, stopping at rrtcp::cold functions.
+class AllocWalker : public RecursiveASTVisitor<AllocWalker> {
+ public:
+  AllocWalker(HotPathAllocCheck& Check, const SourceManager& SM,
+              const FunctionDecl* Root)
+      : Check(Check), SM(SM), Root(Root) {}
+
+  bool shouldVisitTemplateInstantiations() const { return true; }
+
+  void run(const FunctionDecl* FD) {
+    if (FD == nullptr || !FD->hasBody()) return;
+    if (!Visited.insert(FD->getCanonicalDecl()).second) return;
+    TraverseStmt(FD->getBody());
+  }
+
+  bool VisitCXXNewExpr(CXXNewExpr* E) {
+    if (E->getNumPlacementArgs() == 0)
+      Check.reportAlloc(E->getBeginLoc(), "operator new", Root, SM);
+    return true;
+  }
+
+  bool VisitCXXDeleteExpr(CXXDeleteExpr* E) {
+    Check.reportAlloc(E->getBeginLoc(), "operator delete", Root, SM);
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(CXXMemberCallExpr* E) {
+    const CXXMethodDecl* MD = E->getMethodDecl();
+    if (MD == nullptr) return true;
+    if (isAllocatingMember(MD->getName()) && inStdNamespace(MD->getParent()))
+      Check.reportAlloc(
+          E->getBeginLoc(),
+          ("allocating container call '" + MD->getName() + "'").str(), Root,
+          SM);
+    return true;
+  }
+
+  bool VisitCallExpr(CallExpr* E) {
+    const FunctionDecl* Callee = E->getDirectCallee();
+    if (Callee == nullptr) return true;
+    const StringRef Name =
+        Callee->getDeclName().isIdentifier() ? Callee->getName() : StringRef();
+    if (isMallocFamily(Name)) {
+      Check.reportAlloc(E->getBeginLoc(),
+                        ("allocation '" + Name + "'").str(), Root, SM);
+      return true;
+    }
+    if ((Name == "make_unique" || Name == "make_shared") &&
+        Callee->isInStdNamespace()) {
+      Check.reportAlloc(E->getBeginLoc(),
+                        ("allocation 'std::" + Name + "'").str(), Root, SM);
+      return true;
+    }
+    // Transitive walk: follow callees with visible bodies in user code,
+    // but never into an audited cold function.
+    if (hasRrtcpAnnotation(Callee, "rrtcp::cold")) return true;
+    const FunctionDecl* Def = nullptr;
+    if (Callee->hasBody(Def) && Def != nullptr &&
+        !SM.isInSystemHeader(Def->getLocation()))
+      run(Def);
+    return true;
+  }
+
+ private:
+  HotPathAllocCheck& Check;
+  const SourceManager& SM;
+  const FunctionDecl* Root;
+  std::set<const FunctionDecl*> Visited;
+};
+
+}  // namespace
+
+void HotPathAllocCheck::reportAlloc(SourceLocation Loc,
+                                    const std::string& What,
+                                    const FunctionDecl* Root,
+                                    const SourceManager& SM) {
+  if (!Loc.isValid() || SM.isInSystemHeader(Loc)) return;
+  const unsigned Key = SM.getFileOffset(SM.getExpansionLoc(Loc));
+  if (!ReportedOffsets.insert(Key).second) return;
+  diag(Loc, "%0 is reachable on the allocation-free hot path") << What;
+  diag(Root->getLocation(), "hot root is %0 (annotated rrtcp::hot)",
+       DiagnosticIDs::Note)
+      << Root;
+}
+
+void HotPathAllocCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(
+      functionDecl(isDefinition(), hasAttr(attr::Annotate)).bind("fn"), this);
+}
+
+void HotPathAllocCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* FD = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (!hasRrtcpAnnotation(FD, "rrtcp::hot")) return;
+  AllocWalker Walker(*this, *Result.SourceManager, FD);
+  Walker.run(FD);
+}
+
+}  // namespace clang::tidy::rrtcp

@@ -1,0 +1,45 @@
+// rrtcp-hot-path-alloc — allocation reachability on annotated hot paths.
+//
+// Functions carrying [[clang::annotate("rrtcp::hot")]] (spelled RRTCP_HOT,
+// sim/hot.hpp) and everything they transitively call within the TU must
+// not reach operator new, malloc-family calls, make_unique/make_shared,
+// or allocating members of std containers. Functions annotated
+// "rrtcp::cold" are audited amortized-growth paths; the walk does not
+// descend into them. Diagnostics land on the allocating expression (so
+// NOLINT suppression-with-justification works in place), with a note
+// naming the hot root it is reachable from.
+#ifndef RRTCP_TIDY_HOT_PATH_ALLOC_CHECK_H
+#define RRTCP_TIDY_HOT_PATH_ALLOC_CHECK_H
+
+#include "ClangTidyCheck.h"
+
+#include <set>
+#include <string>
+
+namespace clang::tidy::rrtcp {
+
+class HotPathAllocCheck : public ClangTidyCheck {
+ public:
+  HotPathAllocCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+  bool isLanguageVersionSupported(const LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+  // Called by the body walker (a RecursiveASTVisitor that cannot reach the
+  // protected diag() itself). Dedupes by expansion file offset: the same
+  // allocation is often reachable from several hot roots, and templates
+  // instantiate more than once.
+  void reportAlloc(SourceLocation Loc, const std::string& What,
+                   const FunctionDecl* Root, const SourceManager& SM);
+
+ private:
+  std::set<unsigned> ReportedOffsets;
+};
+
+}  // namespace clang::tidy::rrtcp
+
+#endif  // RRTCP_TIDY_HOT_PATH_ALLOC_CHECK_H

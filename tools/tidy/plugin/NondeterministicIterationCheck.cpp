@@ -1,0 +1,109 @@
+#include "NondeterministicIterationCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/SmallVector.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::rrtcp {
+
+namespace {
+
+const CXXRecordDecl* containerRecord(QualType QT,
+                                     const ClassTemplateSpecializationDecl** Spec) {
+  QT = QT.getNonReferenceType().getCanonicalType();
+  const auto* RD = QT->getAsCXXRecordDecl();
+  if (RD == nullptr) return nullptr;
+  *Spec = dyn_cast<ClassTemplateSpecializationDecl>(RD);
+  return RD;
+}
+
+// "std::unordered_map" → hash-ordered. "std::map<Flow*, ...>" →
+// address-ordered. Returns a human-readable reason or nullptr if the
+// container iterates deterministically.
+const char* nondetReason(QualType QT) {
+  const ClassTemplateSpecializationDecl* Spec = nullptr;
+  const CXXRecordDecl* RD = containerRecord(QT, &Spec);
+  if (RD == nullptr || !RD->isInStdNamespace()) return nullptr;
+  const StringRef Name = RD->getName();
+  if (Name.starts_with("unordered_"))
+    return "iterates in hash-table order, which is not stable across "
+           "standard-library versions or insertion histories";
+  const bool Keyed = Name == "map" || Name == "multimap" || Name == "set" ||
+                     Name == "multiset";
+  if (Keyed && Spec != nullptr && Spec->getTemplateArgs().size() > 0) {
+    const TemplateArgument& Key = Spec->getTemplateArgs()[0];
+    if (Key.getKind() == TemplateArgument::Type &&
+        Key.getAsType()->isPointerType())
+      return "is keyed by raw pointers, so iteration follows allocation "
+             "addresses and varies run to run";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+NondeterministicIterationCheck::NondeterministicIterationCheck(
+    StringRef Name, ClangTidyContext* Context)
+    : ClangTidyCheck(Name, Context),
+      GatedDirs(Options.get(
+          "GatedDirs",
+          "src/sim;src/net;src/tcp;src/chaos;src/topo;src/traffic;"
+          "tools/tidy/corpus")) {}
+
+void NondeterministicIterationCheck::storeOptions(
+    ClangTidyOptions::OptionMap& Opts) {
+  Options.store(Opts, "GatedDirs", GatedDirs);
+}
+
+bool NondeterministicIterationCheck::inGatedDir(
+    SourceLocation Loc, const SourceManager& SM) const {
+  if (GatedDirs.empty()) return true;
+  const StringRef File = SM.getFilename(SM.getExpansionLoc(Loc));
+  llvm::SmallVector<StringRef, 8> Parts;
+  StringRef(GatedDirs).split(Parts, ';', -1, /*KeepEmpty=*/false);
+  for (StringRef P : Parts)
+    if (File.contains(P)) return true;
+  return false;
+}
+
+void NondeterministicIterationCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(cxxForRangeStmt().bind("loop"), this);
+  // Explicit iterator loops: flag the .begin() call itself. Range-fors
+  // desugar into implicit begin() calls — exclude those to avoid double
+  // diagnostics on the same loop.
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName("begin", "cbegin"))),
+                        unless(hasAncestor(cxxForRangeStmt())))
+          .bind("begin"),
+      this);
+}
+
+void NondeterministicIterationCheck::classifyAndReport(const Expr* Range,
+                                                       const char* Where) {
+  const char* Reason = nondetReason(Range->getType());
+  if (Reason == nullptr) return;
+  diag(Range->getBeginLoc(),
+       "%0 a container that %1; trace-affecting code must iterate in a "
+       "deterministic order (sort keys, or use FlatTable32::for_each)")
+      << Where << Reason;
+}
+
+void NondeterministicIterationCheck::check(
+    const MatchFinder::MatchResult& Result) {
+  const SourceManager& SM = *Result.SourceManager;
+  if (const auto* Loop = Result.Nodes.getNodeAs<CXXForRangeStmt>("loop")) {
+    if (!inGatedDir(Loop->getBeginLoc(), SM)) return;
+    if (const Expr* Range = Loop->getRangeInit())
+      classifyAndReport(Range->IgnoreParenImpCasts(), "range-for over");
+  } else if (const auto* Begin =
+                 Result.Nodes.getNodeAs<CXXMemberCallExpr>("begin")) {
+    if (!inGatedDir(Begin->getBeginLoc(), SM)) return;
+    if (const Expr* Obj = Begin->getImplicitObjectArgument())
+      classifyAndReport(Obj->IgnoreParenImpCasts(), "iteration over");
+  }
+}
+
+}  // namespace clang::tidy::rrtcp

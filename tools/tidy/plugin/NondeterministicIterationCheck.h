@@ -1,0 +1,38 @@
+// rrtcp-nondeterministic-iteration — iteration order over unordered
+// containers depends on libstdc++ version, hash seeding, and insertion
+// history in ways that leak into packet traces; ordered containers keyed
+// by raw pointers iterate in allocation-address order, which varies run
+// to run. Both are banned in trace-affecting code (GatedDirs).
+#ifndef RRTCP_TIDY_NONDETERMINISTIC_ITERATION_CHECK_H
+#define RRTCP_TIDY_NONDETERMINISTIC_ITERATION_CHECK_H
+
+#include "ClangTidyCheck.h"
+
+#include <string>
+
+namespace clang::tidy::rrtcp {
+
+class NondeterministicIterationCheck : public ClangTidyCheck {
+ public:
+  NondeterministicIterationCheck(StringRef Name, ClangTidyContext* Context);
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap& Opts) override;
+  bool isLanguageVersionSupported(const LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+ private:
+  bool inGatedDir(SourceLocation Loc, const SourceManager& SM) const;
+  void classifyAndReport(const Expr* Range, const char* Where);
+
+  // Semicolon-separated path substrings where trace-affecting code lives.
+  // Empty means: gate everywhere. Stored as std::string: Options.get's
+  // return must not dangle past the ctor.
+  const std::string GatedDirs;
+};
+
+}  // namespace clang::tidy::rrtcp
+
+#endif  // RRTCP_TIDY_NONDETERMINISTIC_ITERATION_CHECK_H

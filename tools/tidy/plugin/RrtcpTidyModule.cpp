@@ -1,0 +1,37 @@
+// rrtcp clang-tidy module — registers the five domain checks and anchors
+// the plugin so `clang-tidy --load librrtcp_tidy.so --checks=rrtcp-*`
+// picks them up. See tools/tidy/README.md for the build recipe and
+// DESIGN.md §14 for what each check enforces and why.
+#include "ClangTidyModule.h"
+#include "ClangTidyModuleRegistry.h"
+
+#include "HotPathAllocCheck.h"
+#include "NondeterministicIterationCheck.h"
+#include "SimTimeEqualityCheck.h"
+#include "SmallFnInlineCheck.h"
+#include "UnnamedRngCheck.h"
+
+namespace clang::tidy {
+namespace rrtcp {
+
+class RrtcpTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories& Factories) override {
+    Factories.registerCheck<HotPathAllocCheck>("rrtcp-hot-path-alloc");
+    Factories.registerCheck<UnnamedRngCheck>("rrtcp-unnamed-rng");
+    Factories.registerCheck<NondeterministicIterationCheck>(
+        "rrtcp-nondeterministic-iteration");
+    Factories.registerCheck<SmallFnInlineCheck>("rrtcp-smallfn-inline");
+    Factories.registerCheck<SimTimeEqualityCheck>("rrtcp-sim-time-equality");
+  }
+};
+
+}  // namespace rrtcp
+
+static ClangTidyModuleRegistry::Add<rrtcp::RrtcpTidyModule> RrtcpTidyModuleX(
+    "rrtcp-module", "rrtcp hot-path and determinism contract checks");
+
+// Referenced nowhere; exists so linkers keep the registry entry alive.
+volatile int RrtcpTidyModuleAnchorSource = 0;  // NOLINT
+
+}  // namespace clang::tidy

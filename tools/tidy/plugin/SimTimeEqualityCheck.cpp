@@ -1,0 +1,30 @@
+#include "SimTimeEqualityCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::rrtcp {
+
+void SimTimeEqualityCheck::registerMatchers(MatchFinder* Finder) {
+  const auto ToSeconds = cxxMemberCallExpr(callee(
+      cxxMethodDecl(hasName("to_seconds"),
+                    ofClass(hasName("::rrtcp::sim::Time")))));
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("==", "!="),
+                     hasEitherOperand(ignoringParenImpCasts(ToSeconds)))
+          .bind("cmp"),
+      this);
+}
+
+void SimTimeEqualityCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* Cmp = Result.Nodes.getNodeAs<BinaryOperator>("cmp");
+  if (Cmp == nullptr) return;
+  diag(Cmp->getOperatorLoc(),
+       "exact %0 on Time::to_seconds() compares lossy doubles; compare "
+       "Time values directly (integer ticks) or use an explicit tolerance")
+      << Cmp->getOpcodeStr();
+}
+
+}  // namespace clang::tidy::rrtcp

@@ -1,0 +1,28 @@
+// rrtcp-sim-time-equality — rrtcp::sim::Time is an integer tick count and
+// compares exactly; Time::to_seconds() is a lossy double projection for
+// display and config math. Comparing to_seconds() results with ==/!=
+// reintroduces exactly the floating-point fragility the tick
+// representation exists to avoid (7.5e-5 + 2.5e-5 != 1e-4 in binary).
+// Compare Time values directly, or use an explicit tolerance.
+#ifndef RRTCP_TIDY_SIM_TIME_EQUALITY_CHECK_H
+#define RRTCP_TIDY_SIM_TIME_EQUALITY_CHECK_H
+
+#include "ClangTidyCheck.h"
+
+namespace clang::tidy::rrtcp {
+
+class SimTimeEqualityCheck : public ClangTidyCheck {
+ public:
+  SimTimeEqualityCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+  bool isLanguageVersionSupported(const LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+};
+
+}  // namespace clang::tidy::rrtcp
+
+#endif  // RRTCP_TIDY_SIM_TIME_EQUALITY_CHECK_H

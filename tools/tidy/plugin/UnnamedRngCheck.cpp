@@ -1,0 +1,68 @@
+#include "UnnamedRngCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/SmallVector.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::rrtcp {
+
+UnnamedRngCheck::UnnamedRngCheck(StringRef Name, ClangTidyContext* Context)
+    : ClangTidyCheck(Name, Context),
+      ExemptPaths(Options.get("ExemptPaths", "sim/rng.")) {}
+
+void UnnamedRngCheck::storeOptions(ClangTidyOptions::OptionMap& Opts) {
+  Options.store(Opts, "ExemptPaths", ExemptPaths);
+}
+
+bool UnnamedRngCheck::isExempt(SourceLocation Loc,
+                               const SourceManager& SM) const {
+  const StringRef File = SM.getFilename(SM.getExpansionLoc(Loc));
+  llvm::SmallVector<StringRef, 4> Parts;
+  StringRef(ExemptPaths).split(Parts, ';', -1, /*KeepEmpty=*/false);
+  for (StringRef P : Parts)
+    if (File.contains(P)) return true;
+  return false;
+}
+
+void UnnamedRngCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::rand", "::srand", "::rand_r",
+                                              "::std::rand", "::std::srand"))))
+          .bind("libc"),
+      this);
+  Finder->addMatcher(
+      cxxConstructExpr(hasType(cxxRecordDecl(hasName("::std::random_device"))))
+          .bind("device"),
+      this);
+  // Wall-clock seeding: time(...) has no legitimate use inside the
+  // simulation — sim time comes from Simulator::now().
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::time", "::std::time"))))
+          .bind("time"),
+      this);
+}
+
+void UnnamedRngCheck::check(const MatchFinder::MatchResult& Result) {
+  const SourceManager& SM = *Result.SourceManager;
+  if (const auto* E = Result.Nodes.getNodeAs<CallExpr>("libc")) {
+    if (isExempt(E->getBeginLoc(), SM)) return;
+    diag(E->getBeginLoc(),
+         "libc rand is not replayable; draw from a named RngStream "
+         "(sim/rng.hpp) instead");
+  } else if (const auto* E =
+                 Result.Nodes.getNodeAs<CXXConstructExpr>("device")) {
+    if (isExempt(E->getBeginLoc(), SM)) return;
+    diag(E->getBeginLoc(),
+         "std::random_device is nondeterministic; seeds must flow from the "
+         "scenario seed through named RngStreams");
+  } else if (const auto* E = Result.Nodes.getNodeAs<CallExpr>("time")) {
+    if (isExempt(E->getBeginLoc(), SM)) return;
+    diag(E->getBeginLoc(),
+         "wall-clock time() must not reach simulation code; use "
+         "Simulator::now() or a scenario-derived seed");
+  }
+}
+
+}  // namespace clang::tidy::rrtcp

@@ -1,0 +1,38 @@
+// rrtcp-unnamed-rng — every random draw must come from the named-stream
+// RNG layer (sim/rng.hpp), so traces replay bit-exactly and adding a flow
+// never perturbs another flow's stream.
+//
+// Bans: std::rand/srand/rand_r, std::random_device, and wall-clock
+// seeding via time(). The RNG layer itself (paths matching ExemptPaths)
+// is the one place allowed to touch raw entropy.
+#ifndef RRTCP_TIDY_UNNAMED_RNG_CHECK_H
+#define RRTCP_TIDY_UNNAMED_RNG_CHECK_H
+
+#include "ClangTidyCheck.h"
+
+#include <string>
+
+namespace clang::tidy::rrtcp {
+
+class UnnamedRngCheck : public ClangTidyCheck {
+ public:
+  UnnamedRngCheck(StringRef Name, ClangTidyContext* Context);
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap& Opts) override;
+  bool isLanguageVersionSupported(const LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+ private:
+  bool isExempt(SourceLocation Loc, const SourceManager& SM) const;
+
+  // Semicolon-separated path substrings naming the RNG layer. Stored as
+  // std::string: Options.get's return must not dangle past the ctor.
+  const std::string ExemptPaths;
+};
+
+}  // namespace clang::tidy::rrtcp
+
+#endif  // RRTCP_TIDY_UNNAMED_RNG_CHECK_H
