@@ -11,10 +11,13 @@
 //   chaos_soak [--schedules=N] [--seed=S] [--threads=N]
 //              [--csv=PATH] [--json=PATH]
 //   chaos_soak --replay=0xSEED          # re-run one schedule, verbose
+//   chaos_soak --replay=PATH            # re-run a fuzz repro file
 //
 // Every row of the sweep carries its plan seed; a failing schedule is
 // replayed byte-identically with --replay=<that seed>, independent of
-// --schedules/--seed/thread count.
+// --schedules/--seed/thread count. The replay path is shared with
+// tools/fuzz_soak (src/fuzz/replay.hpp): an integer operand is a chaos
+// plan seed, anything else a rrtcp-fuzz-repro-v1 file.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "fuzz/replay.hpp"
 #include "harness/chaos_sweep.hpp"
 #include "harness/sweep.hpp"
 
@@ -30,47 +34,13 @@ namespace {
 using namespace rrtcp;  // NOLINT(google-build-using-namespace)
 
 [[noreturn]] void usage(const char* bad) {
-  std::fprintf(stderr,
-               "unknown argument: %s\n"
-               "usage: chaos_soak [--schedules=N] [--seed=S] [--threads=N]\n"
-               "                  [--csv=PATH] [--json=PATH] [--replay=0xS]\n",
-               bad);
+  std::fprintf(
+      stderr,
+      "unknown argument: %s\n"
+      "usage: chaos_soak [--schedules=N] [--seed=S] [--threads=N]\n"
+      "                  [--csv=PATH] [--json=PATH] [--replay=0xS|PATH]\n",
+      bad);
   std::exit(2);
-}
-
-int replay(std::uint64_t plan_seed, const harness::ChaosSoakOptions& opts) {
-  const chaos::FaultPlan plan = chaos::make_random_plan(plan_seed, opts.bounds);
-  std::printf("replaying plan seed 0x%016llx: %s\n",
-              static_cast<unsigned long long>(plan_seed),
-              plan.describe().c_str());
-  int failures = 0;
-  for (const app::Variant v : opts.variants) {
-    harness::ChaosRunConfig cfg = opts.base;
-    cfg.variant = v;
-    std::vector<chaos::WatchdogReport> reports;
-    std::vector<audit::Violation> violations;
-    const harness::ChaosRunOutcome out =
-        harness::run_chaos_schedule(plan, plan_seed, cfg, &reports,
-                                    &violations);
-    std::printf(
-        "  %-8s %s: complete=%d alive=%d dead=%d timeouts=%llu rtx=%llu "
-        "drops=%llu violations=%llu watchdog=%llu\n",
-        app::to_string(v), out.graceful ? "GRACEFUL" : "FAILED",
-        out.flows_complete, out.flows_alive, out.flows_dead,
-        static_cast<unsigned long long>(out.timeouts),
-        static_cast<unsigned long long>(out.retransmissions),
-        static_cast<unsigned long long>(out.fault_drops),
-        static_cast<unsigned long long>(out.audit_violations),
-        static_cast<unsigned long long>(out.watchdog_reports));
-    for (const audit::Violation& viol : violations)
-      std::printf("    audit %s t=%.6fs: %s\n", audit::to_string(viol.id),
-                  viol.t.to_seconds(), viol.detail.c_str());
-    for (const chaos::WatchdogReport& r : reports)
-      std::printf("    %s t=%.6fs %s: %s\n", chaos::to_string(r.id),
-                  r.t.to_seconds(), r.who.c_str(), r.detail.c_str());
-    if (!out.graceful) ++failures;
-  }
-  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -78,8 +48,7 @@ int replay(std::uint64_t plan_seed, const harness::ChaosSoakOptions& opts) {
 int main(int argc, char** argv) {
   harness::ChaosSoakOptions opts;
   harness::SweepCli cli;
-  bool do_replay = false;
-  std::uint64_t replay_seed = 0;
+  std::string replay_arg;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,15 +71,14 @@ int main(int argc, char** argv) {
     } else if (const char* v = value_of("--json=")) {
       cli.json_path = v;
     } else if (const char* v = value_of("--replay=")) {
-      replay_seed = std::strtoull(v, &end, 0);  // base 0: accepts 0x...
-      if (end == v || *end != '\0') usage(argv[i]);
-      do_replay = true;
+      replay_arg = v;  // seed (0x or decimal) or repro-file path
+      if (replay_arg.empty()) usage(argv[i]);
     } else {
       usage(argv[i]);
     }
   }
 
-  if (do_replay) return replay(replay_seed, opts);
+  if (!replay_arg.empty()) return fuzz::replay_main(replay_arg, opts);
 
   const std::vector<harness::SweepJob> jobs =
       harness::make_chaos_jobs(opts, cli.options.base_seed);

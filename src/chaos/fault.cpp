@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "sim/assert.hpp"
@@ -27,6 +28,32 @@ const char* to_string(FaultKind k) {
       break;
   }
   return "?";
+}
+
+bool fault_kind_from_string(std::string_view name, FaultKind* out) {
+  for (int k = 0; k < static_cast<int>(FaultKind::kCount); ++k) {
+    if (name == to_string(static_cast<FaultKind>(k))) {
+      *out = static_cast<FaultKind>(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* to_string(FaultPath p) {
+  return p == FaultPath::kData ? "data" : "ack";
+}
+
+bool fault_path_from_string(std::string_view name, FaultPath* out) {
+  if (name == "data") {
+    *out = FaultPath::kData;
+    return true;
+  }
+  if (name == "ack") {
+    *out = FaultPath::kAck;
+    return true;
+  }
+  return false;
 }
 
 bool FaultSpec::active_at(sim::Time now) const {
@@ -65,6 +92,84 @@ std::string FaultSpec::describe() const {
   }
   append("[%s]", path == FaultPath::kData ? "data" : "ack");
   return buf;
+}
+
+std::string FaultSpec::to_text() const {
+  // "%.17g" round-trips every finite double bit-for-bit, so a replayed
+  // spec drives byte-identical RNG draws.
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "kind=%s path=%s start_ps=%lld dur_ps=%lld period_ps=%lld "
+                "p=%.17g delay_ps=%lld enter=%.17g exit=%.17g loss=%.17g "
+                "data_only=%d",
+                to_string(kind), to_string(path),
+                static_cast<long long>(start.ps()),
+                static_cast<long long>(duration.ps()),
+                static_cast<long long>(period.ps()), probability,
+                static_cast<long long>(extra_delay.ps()), p_enter_bad,
+                p_exit_bad, loss_in_bad, data_only ? 1 : 0);
+  return buf;
+}
+
+bool FaultSpec::from_text(std::string_view line, FaultSpec* out) {
+  FaultSpec s;
+  bool saw_kind = false;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+    if (pos >= line.size()) break;
+    std::size_t end = line.find(' ', pos);
+    if (end == std::string_view::npos) end = line.size();
+    const std::string_view token = line.substr(pos, end - pos);
+    pos = end;
+
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) return false;
+    const std::string_view key = token.substr(0, eq);
+    const std::string value{token.substr(eq + 1)};  // NUL-terminated for strto*
+    char* rest = nullptr;
+    auto as_ps = [&rest, &value]() {
+      return sim::Time::picoseconds(std::strtoll(value.c_str(), &rest, 10));
+    };
+    auto as_double = [&rest, &value]() {
+      return std::strtod(value.c_str(), &rest);
+    };
+    rest = nullptr;
+    if (key == "kind") {
+      if (!fault_kind_from_string(value, &s.kind)) return false;
+      saw_kind = true;
+    } else if (key == "path") {
+      if (!fault_path_from_string(value, &s.path)) return false;
+    } else if (key == "start_ps") {
+      s.start = as_ps();
+    } else if (key == "dur_ps") {
+      s.duration = as_ps();
+    } else if (key == "period_ps") {
+      s.period = as_ps();
+    } else if (key == "p") {
+      s.probability = as_double();
+    } else if (key == "delay_ps") {
+      s.extra_delay = as_ps();
+    } else if (key == "enter") {
+      s.p_enter_bad = as_double();
+    } else if (key == "exit") {
+      s.p_exit_bad = as_double();
+    } else if (key == "loss") {
+      s.loss_in_bad = as_double();
+    } else if (key == "data_only") {
+      s.data_only = value == "1";
+      if (value != "0" && value != "1") return false;
+    } else {
+      return false;
+    }
+    // Numeric keys must consume their whole value ("start_ps=12x" is a
+    // corrupt file, not a 12).
+    if (rest != nullptr && (rest == value.c_str() || *rest != '\0'))
+      return false;
+  }
+  if (!saw_kind) return false;
+  *out = s;
+  return true;
 }
 
 FaultPlan FaultPlan::subset(FaultPath p) const {

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/node.hpp"
@@ -46,12 +47,17 @@ enum class FaultKind : std::uint8_t {
 };
 
 const char* to_string(FaultKind k);
+// Inverse of to_string; false (out untouched) for an unknown name.
+bool fault_kind_from_string(std::string_view name, FaultKind* out);
 
 // Which dumbbell direction a spec is meant for; the soak harness splits a
 // plan into a forward (data) and a reverse (ACK) injector on this field.
 // An injector itself applies every spec it is given regardless of path —
 // the field is routing metadata, not a packet filter.
 enum class FaultPath : std::uint8_t { kData, kAck };
+
+const char* to_string(FaultPath p);
+bool fault_path_from_string(std::string_view name, FaultPath* out);
 
 struct FaultSpec {
   FaultKind kind = FaultKind::kOutage;
@@ -77,6 +83,14 @@ struct FaultSpec {
   // True while `now` falls inside an active window.
   bool active_at(sim::Time now) const;
   std::string describe() const;
+
+  // Lossless one-line text codec for replay files (src/fuzz). Every field
+  // is emitted: times as exact picosecond integers, probabilities with
+  // enough digits to round-trip a double bit-for-bit. from_text accepts
+  // exactly what to_text emits (order-insensitive `k=v` tokens) and
+  // returns false on any unknown key or malformed value.
+  std::string to_text() const;
+  static bool from_text(std::string_view line, FaultSpec* out);
 };
 
 struct FaultPlan {

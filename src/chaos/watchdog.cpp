@@ -1,5 +1,6 @@
 #include "chaos/watchdog.hpp"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 
@@ -35,6 +36,8 @@ LivenessWatchdog::LivenessWatchdog(sim::Simulator& sim, WatchdogConfig cfg,
   RRTCP_ASSERT(cfg_.check_interval > sim::Time::zero());
   RRTCP_ASSERT(cfg_.stall_rto_factor >= 1);
   RRTCP_ASSERT(cfg_.livelock_rtx_threshold >= 1);
+  if (cfg_.stall_ceiling)
+    RRTCP_ASSERT(*cfg_.stall_ceiling > sim::Time::zero());
 }
 
 LivenessWatchdog::~LivenessWatchdog() {
@@ -174,8 +177,17 @@ void LivenessWatchdog::Monitor::check(sim::Time now) {
   // Stall: an incomplete transfer whose sender has gone quiet for several
   // RTO spans. The RTO read is the sender's own (backed-off) value, so deep
   // backoff legitimately buys long silences before this trips.
-  const sim::Time limit = sender_.rto_estimator().rto() *
-                          static_cast<std::int64_t>(wd_.cfg_.stall_rto_factor);
+  sim::Time limit = sender_.rto_estimator().rto() *
+                    static_cast<std::int64_t>(wd_.cfg_.stall_rto_factor);
+  // The stall ceiling only caps UNEXPLAINED silence: while a pending RTO
+  // expiry still lies ahead, the sender has named the next thing that will
+  // wake it and the RTO-relative limit stands. With no timer armed (or an
+  // expiry that passed without producing activity), nothing explains the
+  // quiet, so the absolute cap applies.
+  if (wd_.cfg_.stall_ceiling &&
+      (!sender_.rto_pending() || sender_.rto_expiry() <= now)) {
+    limit = std::min(limit, *wd_.cfg_.stall_ceiling);
+  }
   if (!flagged_stall_ && now - last_activity_ > limit) {
     flagged_stall_ = true;
     wd_.report(WatchdogReportId::kStall, sender_.variant_name(),

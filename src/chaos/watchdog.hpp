@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,16 @@ struct WatchdogConfig {
   // Livelock = more than this many same-segment retransmissions without
   // snd_una advancing, in less wall-clock than backoff allows.
   int livelock_rtx_threshold = 8;
+  // Optional absolute cap on tolerated silence, applied only when the
+  // silence is UNEXPLAINED — no retransmission timer armed, or the armed
+  // timer's expiry has already passed without firing. A healthy sender in
+  // deep backoff (silent up to 64 s with its RTO legitimately pending) is
+  // untouched; a wedged one is flagged after the ceiling instead of after
+  // stall_rto_factor x a backed-off RTO. Short fuzzed scenarios set this
+  // so stalls surface inside their few-second horizons; nullopt keeps the
+  // soak's purely RTO-relative behavior. Configure through
+  // InstrumentationOptions::watchdog_config / ScenarioSpec::instruments.
+  std::optional<sim::Time> stall_ceiling = std::nullopt;
 };
 
 struct WatchdogReport {

@@ -1,0 +1,128 @@
+#include "fuzz/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "fuzz/spec_gen.hpp"
+
+namespace rrtcp::fuzz {
+
+namespace {
+
+struct CaseOutcome {
+  bool ran = false;
+  RunOutcome out;
+};
+
+}  // namespace
+
+CaseSpec campaign_case(const CampaignOptions& opts, std::uint64_t index) {
+  CaseSpec cs = SpecGenerator{opts.seed}.generate(index);
+  if (!opts.mutant.empty() && opts.mutant_every > 0 &&
+      index % opts.mutant_every == 0) {
+    cs.mutant = opts.mutant;
+  }
+  return cs;
+}
+
+CampaignResult run_campaign(const CampaignOptions& opts) {
+  const std::size_t n = static_cast<std::size_t>(opts.n_cases);
+  // Per-case outcome slots, written by the owning job only — the sweep's
+  // isolation rule makes this race-free without locks.
+  std::vector<CaseOutcome> outcomes(n);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opts.budget_seconds));
+  const bool budgeted = opts.budget_seconds > 0.0;
+
+  std::vector<harness::SweepJob> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    char id[32];
+    std::snprintf(id, sizeof id, "case%zu", i);
+    jobs.push_back({id, [&opts, &outcomes, deadline, budgeted,
+                         i](const harness::JobContext&) {
+                      harness::Record row;
+                      if (budgeted &&
+                          std::chrono::steady_clock::now() >= deadline) {
+                        row.set("skipped", true);
+                        return row;
+                      }
+                      const CaseSpec cs =
+                          campaign_case(opts, static_cast<std::uint64_t>(i));
+                      CaseOutcome& slot = outcomes[i];
+                      slot.out = run_case(cs, opts.run);
+                      slot.ran = true;
+
+                      char hex[24];
+                      std::snprintf(hex, sizeof hex, "%016" PRIx64,
+                                    slot.out.digest);
+                      std::set<std::string> buckets;
+                      for (const Failure& f : slot.out.failures)
+                        buckets.insert(bucket_key(cs, f));
+                      std::string joined;
+                      for (const std::string& b : buckets) {
+                        if (!joined.empty()) joined += ';';
+                        joined += b;
+                      }
+                      row.set("seed", cs.seed)
+                          .set("who", cs.mutant.empty()
+                                          ? app::to_string(cs.variant)
+                                          : cs.mutant.c_str())
+                          .set("topo", to_string(cs.topo))
+                          .set("faults",
+                               static_cast<std::uint64_t>(
+                                   cs.plan.faults.size()))
+                          .set("built", slot.out.built)
+                          .set("events", slot.out.events)
+                          .set("digest", hex)
+                          .set("failures",
+                               static_cast<std::uint64_t>(
+                                   slot.out.failures.size()))
+                          .set("buckets", joined);
+                      return row;
+                    }});
+  }
+
+  CampaignResult result;
+  result.sink = std::make_unique<harness::ResultSink>(n);
+  harness::SweepOptions sweep;
+  sweep.threads = opts.threads;
+  sweep.base_seed = opts.seed;
+  result.timing = harness::run_sweep(jobs, *result.sink, sweep);
+
+  // Serial triage in index order: identical result whatever completion
+  // order the pool produced. Shrinks happen here too — they re-run cases,
+  // but only one per NEW bucket, and campaigns with zero findings (the
+  // steady state) pay nothing.
+  for (std::size_t i = 0; i < n; ++i) {
+    const CaseOutcome& slot = outcomes[i];
+    if (!slot.ran) {
+      ++result.cases_skipped;
+      continue;
+    }
+    ++result.cases_run;
+    if (slot.out.failures.empty()) continue;
+    ++result.cases_failed;
+    const CaseSpec cs = campaign_case(opts, static_cast<std::uint64_t>(i));
+    for (const Failure& f : slot.out.failures) {
+      const bool fresh =
+          result.triage.record(cs, f, static_cast<std::uint64_t>(i));
+      if (fresh && opts.shrink) {
+        const std::string bucket = bucket_key(cs, f);
+        result.triage.attach_minimized(
+            bucket, shrink(cs, bucket, opts.shrink_opts));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rrtcp::fuzz

@@ -1,0 +1,68 @@
+// Fuzz campaign: generate -> run oracles on the sweep pool -> triage ->
+// shrink.
+//
+// A campaign is N generated cases executed as independent sweep jobs
+// (harness::run_sweep — the same work-stealing pool, per-index seeds, and
+// index-ordered sink every bench uses), then a SERIAL triage pass in index
+// order: dedup failures into buckets, delta-debug the first case of each
+// new bucket. Parallelism only touches the embarrassingly parallel part,
+// so the sink's CSV, the triage report, and the written corpus are
+// byte-identical for any --threads — the determinism contract the tests
+// pin.
+//
+// Mutant injection (CampaignOptions::mutant / mutant_every) swaps every
+// k-th case's senders for a named known-bug implementation: the
+// self-test that proves the whole pipeline — oracles, bucketing,
+// shrinking, corpus — catches a real bug when one exists.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fuzz/case_spec.hpp"
+#include "fuzz/runner.hpp"
+#include "fuzz/shrink.hpp"
+#include "fuzz/triage.hpp"
+#include "harness/sweep.hpp"
+
+namespace rrtcp::fuzz {
+
+struct CampaignOptions {
+  std::uint64_t n_cases = 100;
+  std::uint64_t seed = 1;  // generator master seed
+  int threads = 0;         // <= 0: harness resolution chain
+  RunOptions run;          // per-case oracle toggles
+  // When non-empty: every `mutant_every`-th case (index % k == 0) is built
+  // from this known-bug sender instead of its sampled variant.
+  std::string mutant;
+  std::uint64_t mutant_every = 10;
+  bool shrink = true;
+  ShrinkOptions shrink_opts;
+  // > 0: wall-clock budget in seconds. Cases dispatched after it expires
+  // are recorded as skipped=1 rows and not run — the CI-smoke escape
+  // hatch. NOTE: which cases get skipped depends on machine speed, so a
+  // budgeted campaign trades the byte-identical-output guarantee for a
+  // bounded runtime; leave at 0 anywhere determinism is asserted.
+  double budget_seconds = 0.0;
+};
+
+struct CampaignResult {
+  std::uint64_t cases_run = 0;      // actually executed (== n_cases unless
+                                    // a budget expired)
+  std::uint64_t cases_skipped = 0;  // budget-expired
+  std::uint64_t cases_failed = 0;   // executed cases with >= 1 failure
+  FailureTriage triage;
+  // One row per case, index order (skipped rows carry skipped=1 only).
+  std::unique_ptr<harness::ResultSink> sink;
+  harness::SweepTiming timing;
+};
+
+// The exact spec campaign index i runs under these options: the
+// generator's sample plus mutant injection. Exposed so tests and the
+// replay path can reconstruct any campaign case from (options, index).
+CaseSpec campaign_case(const CampaignOptions& opts, std::uint64_t index);
+
+CampaignResult run_campaign(const CampaignOptions& opts);
+
+}  // namespace rrtcp::fuzz

@@ -1,0 +1,131 @@
+#include "fuzz/mutants.hpp"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "core/rr_sender.hpp"
+#include "net/packet.hpp"
+#include "tcp/receiver.hpp"
+
+namespace rrtcp::fuzz {
+
+namespace {
+
+// Bug: treats cwnd as the transmission controller during the probe
+// sub-phase — each dup ACK bursts new data instead of releasing exactly
+// one self-clocked packet (the over-count actnum exists to prevent).
+// Expected catch: audit RR_PROBE_CLOCK.
+class BrokenProbeSender : public core::RrSender {
+ public:
+  using core::RrSender::RrSender;
+  const char* variant_name() const override { return "broken-probe"; }
+
+ protected:
+  void handle_dup_ack(const net::TcpHeader& h) override {
+    core::RrSender::handle_dup_ack(h);
+    if (in_probe()) {
+      send_one_new_segment(true);
+      send_one_new_segment(true);
+    }
+  }
+};
+
+// Bug: never re-arms the retransmission timer — once the network eats the
+// rest of a window, nothing is scheduled that could ever wake the flow.
+// Expected catch: watchdog WD_SILENT_DEATH and audit RTO_ARMED.
+class DeadRtoSender : public core::RrSender {
+ public:
+  using core::RrSender::RrSender;
+  const char* variant_name() const override { return "dead-rto"; }
+
+ protected:
+  void handle_new_ack(const net::TcpHeader& h,
+                      std::uint64_t newly_acked) override {
+    core::RrSender::handle_new_ack(h, newly_acked);
+    stop_rto_timer();
+  }
+  void handle_dup_ack(const net::TcpHeader& h) override {
+    core::RrSender::handle_dup_ack(h);
+    stop_rto_timer();
+  }
+};
+
+// Bug: retransmits the segment at snd_una on EVERY duplicate ACK with no
+// exponential spacing — busy, but going nowhere while the hole persists.
+// Expected catch: watchdog WD_LIVELOCK.
+class LivelockRtxSender : public core::RrSender {
+ public:
+  using core::RrSender::RrSender;
+  const char* variant_name() const override { return "livelock-rtx"; }
+
+ protected:
+  void handle_dup_ack(const net::TcpHeader& h) override {
+    core::RrSender::handle_dup_ack(h);
+    if (snd_una() < max_sent()) retransmit(snd_una());
+  }
+};
+
+using SenderMaker = std::unique_ptr<tcp::TcpSenderBase> (*)(
+    sim::Simulator&, net::Node&, net::FlowId, net::NodeId,
+    const tcp::TcpConfig&);
+
+template <typename S>
+std::unique_ptr<tcp::TcpSenderBase> make_sender(sim::Simulator& sim,
+                                                net::Node& snd,
+                                                net::FlowId flow,
+                                                net::NodeId dst,
+                                                const tcp::TcpConfig& cfg) {
+  return std::make_unique<S>(sim, snd, flow, dst, cfg);
+}
+
+struct MutantEntry {
+  std::string_view name;
+  SenderMaker make;
+};
+
+// Sorted by name (mutant_names() promises stable order).
+constexpr std::array<MutantEntry, 3> kMutants{{
+    {"broken-probe", &make_sender<BrokenProbeSender>},
+    {"dead-rto", &make_sender<DeadRtoSender>},
+    {"livelock-rtx", &make_sender<LivelockRtxSender>},
+}};
+
+const MutantEntry* find(std::string_view name) {
+  for (const MutantEntry& e : kMutants)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::string_view> mutant_names() {
+  std::vector<std::string_view> names;
+  names.reserve(kMutants.size());
+  for (const MutantEntry& e : kMutants) names.push_back(e.name);
+  return names;
+}
+
+bool is_mutant(std::string_view name) { return find(name) != nullptr; }
+
+std::function<app::Flow(sim::Simulator&, net::Node&, net::Node&, net::FlowId,
+                        const harness::FlowSpec&)>
+mutant_flow_maker(std::string_view name) {
+  const MutantEntry* entry = find(name);
+  if (entry == nullptr) return {};
+  const SenderMaker make = entry->make;
+  return [make](sim::Simulator& sim, net::Node& snd, net::Node& rcv,
+                net::FlowId flow, const harness::FlowSpec& fs) {
+    app::Flow f;
+    f.sender = make(sim, snd, flow, rcv.id(), fs.tcp);
+    tcp::ReceiverConfig rcfg;
+    rcfg.ack_bytes = fs.tcp.ack_bytes;
+    rcfg.ecn_enabled = fs.tcp.ecn_enabled;
+    f.receiver =
+        std::make_unique<tcp::TcpReceiver>(sim, rcv, flow, snd.id(), rcfg);
+    return f;
+  };
+}
+
+}  // namespace rrtcp::fuzz

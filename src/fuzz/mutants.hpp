@@ -1,0 +1,39 @@
+// Known-bug sender registry for the fuzz pipeline's self-tests.
+//
+// A fuzz campaign over CORRECT senders should end with zero oracle hits;
+// proving the pipeline has teeth therefore needs senders that are wrong in
+// known, specific ways. Each mutant here re-introduces one classic bug
+// (the same families as tests/audit/broken_senders.hpp and
+// tests/chaos/broken_liveness_senders.hpp) and is constructible BY NAME,
+// so a minimized repro file that says `mutant = dead-rto` rebuilds the
+// identical broken sender at replay time — the test-only headers cannot do
+// that, which is why these live in src/.
+//
+// Name -> expected catch:
+//   broken-probe  -> audit RR_PROBE_CLOCK (cwnd-burst during probe)
+//   dead-rto      -> watchdog WD_SILENT_DEATH + audit RTO_ARMED
+//   livelock-rtx  -> watchdog WD_LIVELOCK (per-dup-ACK retransmission)
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "app/flow_factory.hpp"
+#include "harness/scenario.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace rrtcp::fuzz {
+
+// Registered mutant names, sorted (stable for reports and tests).
+std::vector<std::string_view> mutant_names();
+bool is_mutant(std::string_view name);
+
+// A ScenarioSpec::flow_maker that builds every flow from the named mutant
+// (receiver wiring identical to app::make_flow). Null for unknown names.
+std::function<app::Flow(sim::Simulator&, net::Node&, net::Node&,
+                        net::FlowId, const harness::FlowSpec&)>
+mutant_flow_maker(std::string_view name);
+
+}  // namespace rrtcp::fuzz

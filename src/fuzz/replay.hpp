@@ -1,0 +1,52 @@
+// One --replay entry point for fuzz repros AND chaos-soak schedules.
+//
+// Historically chaos_soak --replay took a plan seed and fuzz repros did
+// not exist; now both CLIs (tools/fuzz_soak, examples/chaos_soak) route
+// --replay=<operand> here:
+//
+//   all-integer operand ("291", "0x1a3")  -> chaos schedule seed, replayed
+//     differentially across the soak's variant set (the historical path);
+//   anything else                          -> path to a
+//     rrtcp-fuzz-repro-v1 file: the case is rebuilt, the full oracle
+//     stack runs, and the outcome is graded against the file's `expect`
+//     lines.
+//
+// Exit codes: 0 = the replay behaved as expected (every expected bucket
+// hit; or, for a file with no expect lines / a chaos seed, a clean run),
+// 1 = it did not, 2 = the operand could not be loaded. The checked-in
+// corpus runs under ctest with exactly these semantics: a repro that
+// stops reproducing its bucket FAILS the test — a regression either way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "harness/chaos_sweep.hpp"
+
+namespace rrtcp::fuzz {
+
+struct ReplayArg {
+  bool is_seed = false;
+  std::uint64_t seed = 0;  // when is_seed
+  std::string path;        // otherwise
+};
+
+// Integer operands (decimal, or hex with 0x/0X) classify as seeds;
+// anything else is a file path.
+ReplayArg classify_replay_arg(std::string_view arg);
+
+// Replay one repro file against its expectations. Verbose: prints the
+// case, every failure, and a final verdict line.
+int replay_repro_file(const std::string& path);
+
+// Replay one chaos schedule seed across `opts`'s variant set (verbose,
+// per-variant verdicts). 0 iff every variant degraded gracefully.
+int replay_chaos_seed(std::uint64_t plan_seed,
+                      const harness::ChaosSoakOptions& opts);
+
+// Dispatch on classify_replay_arg.
+int replay_main(const std::string& arg,
+                const harness::ChaosSoakOptions& chaos_opts = {});
+
+}  // namespace rrtcp::fuzz

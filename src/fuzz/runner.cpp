@@ -1,0 +1,230 @@
+#include "fuzz/runner.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "audit/invariant_auditor.hpp"
+#include "chaos/watchdog.hpp"
+#include "sim/assert.hpp"
+
+namespace rrtcp::fuzz {
+
+namespace {
+
+// FNV-1a over the sender-observer event stream of every flow. Event order
+// is simulation order, values are exact integers (times in picoseconds,
+// doubles by bit pattern), so equal digests mean equal traces for any
+// deterministic engine — the currency of the determinism and
+// engine-equivalence oracles.
+class TraceDigest {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (i * 8)) & 0xff;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+class DigestObserver final : public tcp::SenderObserver {
+ public:
+  DigestObserver(TraceDigest& digest, int flow)
+      : digest_{digest}, flow_{static_cast<std::uint64_t>(flow)} {}
+
+  void on_send(sim::Time now, std::uint64_t seq, std::uint32_t len,
+               bool rtx) override {
+    mix_event(1, now);
+    digest_.mix(seq);
+    digest_.mix((static_cast<std::uint64_t>(len) << 1) | (rtx ? 1 : 0));
+  }
+  void on_ack(sim::Time now, std::uint64_t ack, bool dup) override {
+    mix_event(2, now);
+    digest_.mix((ack << 1) | (dup ? 1 : 0));
+  }
+  void on_phase(sim::Time now, tcp::TcpPhase phase) override {
+    mix_event(3, now);
+    digest_.mix(static_cast<std::uint64_t>(phase));
+  }
+  void on_timeout(sim::Time now) override { mix_event(4, now); }
+  void on_cwnd(sim::Time now, double cwnd_packets) override {
+    mix_event(5, now);
+    std::uint64_t bits;
+    std::memcpy(&bits, &cwnd_packets, sizeof bits);
+    digest_.mix(bits);
+  }
+
+ private:
+  void mix_event(std::uint64_t tag, sim::Time now) {
+    digest_.mix((flow_ << 8) | tag);
+    digest_.mix(static_cast<std::uint64_t>(now.ps()));
+  }
+
+  TraceDigest& digest_;
+  std::uint64_t flow_;
+};
+
+struct SingleRun {
+  bool built = false;
+  std::vector<Failure> failures;
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+};
+
+// Keep at most this many failures per oracle per run: a hot invariant can
+// fire thousands of times, but triage only needs the bucket and an
+// exemplar.
+constexpr std::size_t kMaxPerOracle = 8;
+
+void push_capped(std::vector<Failure>* failures, std::size_t* count,
+                 Failure f) {
+  if (*count < kMaxPerOracle) failures->push_back(std::move(f));
+  ++*count;
+}
+
+SingleRun single_run(const CaseSpec& cs, bool timer_wheel) {
+  SingleRun out;
+  AssertTrapScope trap;
+  try {
+    harness::SpecError err;
+    std::unique_ptr<BuiltCase> built = build_case(cs, &err, timer_wheel);
+    if (built == nullptr) {
+      out.failures.push_back(
+          {OracleKind::kBuildReject, harness::to_string(err.code), err.detail});
+      return out;
+    }
+    out.built = true;
+    harness::Scenario& sc = *built->scenario;
+
+    TraceDigest digest;
+    std::vector<std::unique_ptr<DigestObserver>> observers;
+    observers.reserve(static_cast<std::size_t>(sc.n_flows()));
+    for (int i = 0; i < sc.n_flows(); ++i) {
+      observers.push_back(std::make_unique<DigestObserver>(digest, i));
+      sc.sender(i).add_observer(observers.back().get());
+    }
+
+    try {
+      out.events = sc.run();
+    } catch (const TrappedAbort& e) {
+      out.failures.push_back({OracleKind::kAbort, e.id(), e.detail()});
+    }
+    for (int i = 0; i < sc.n_flows(); ++i)
+      sc.sender(i).remove_observer(observers[static_cast<std::size_t>(i)].get());
+    out.digest = digest.value();
+
+    std::size_t n_audit = 0;
+    for (const audit::Violation& v :
+         sc.instrumentation().recording_session()->violations()) {
+      char detail[160];
+      std::snprintf(detail, sizeof detail, "t=%.9fs %s", v.t.to_seconds(),
+                    v.detail.c_str());
+      push_capped(&out.failures, &n_audit,
+                  {OracleKind::kAudit, audit::to_string(v.id), detail});
+    }
+    std::size_t n_wd = 0;
+    for (const chaos::WatchdogReport& r :
+         sc.instrumentation().watchdog()->reports()) {
+      char detail[160];
+      std::snprintf(detail, sizeof detail, "t=%.9fs sender=%s: %s",
+                    r.t.to_seconds(), r.who.c_str(), r.detail.c_str());
+      push_capped(&out.failures, &n_wd,
+                  {OracleKind::kWatchdog, chaos::to_string(r.id), detail});
+    }
+    std::size_t n_dead = 0;
+    for (int i = 0; i < sc.n_flows(); ++i) {
+      const tcp::TcpSenderBase& s = sc.sender(i);
+      // The chaos soak's definition of dead: incomplete with nothing armed
+      // that could ever act. Incomplete-but-armed is a slow flow, not a bug.
+      if (s.complete() || s.rto_pending()) continue;
+      char detail[120];
+      std::snprintf(detail, sizeof detail,
+                    "flow %d incomplete at horizon, una=%" PRIu64
+                    " max_sent=%" PRIu64 ", no RTO armed",
+                    i, s.snd_una(), s.max_sent());
+      push_capped(&out.failures, &n_dead,
+                  {OracleKind::kLiveness, "DEAD_FLOW", detail});
+    }
+  } catch (const TrappedAbort& e) {
+    // Abort during construction (or teardown): no scenario state to read.
+    out.failures.push_back({OracleKind::kAbort, e.id(), e.detail()});
+  } catch (const std::exception& e) {
+    out.failures.push_back({OracleKind::kAbort, "EXCEPTION", e.what()});
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(OracleKind k) {
+  switch (k) {
+    case OracleKind::kAudit:
+      return "audit";
+    case OracleKind::kWatchdog:
+      return "watchdog";
+    case OracleKind::kLiveness:
+      return "liveness";
+    case OracleKind::kDeterminism:
+      return "determinism";
+    case OracleKind::kEquivalence:
+      return "equivalence";
+    case OracleKind::kAbort:
+      return "abort";
+    case OracleKind::kBuildReject:
+      return "build-reject";
+    case OracleKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+RunOutcome run_case(const CaseSpec& cs, const RunOptions& opts) {
+  SingleRun primary = single_run(cs, /*timer_wheel=*/true);
+  RunOutcome out;
+  out.built = primary.built;
+  out.failures = std::move(primary.failures);
+  out.digest = primary.digest;
+  out.events = primary.events;
+  if (!out.built) return out;
+
+  char detail[96];
+  if (opts.check_determinism) {
+    const SingleRun again = single_run(cs, /*timer_wheel=*/true);
+    if (again.digest != out.digest) {
+      std::snprintf(detail, sizeof detail,
+                    "run1 digest %016" PRIx64 " != run2 digest %016" PRIx64,
+                    out.digest, again.digest);
+      out.failures.push_back(
+          {OracleKind::kDeterminism, "TRACE_DIGEST", detail});
+    }
+  }
+  if (opts.check_equivalence) {
+    const SingleRun heap_only = single_run(cs, /*timer_wheel=*/false);
+    if (heap_only.digest != out.digest) {
+      std::snprintf(detail, sizeof detail,
+                    "wheel digest %016" PRIx64 " != heap digest %016" PRIx64,
+                    out.digest, heap_only.digest);
+      out.failures.push_back(
+          {OracleKind::kEquivalence, "ENGINE_DIGEST", detail});
+    }
+  }
+  return out;
+}
+
+std::string bucket_key(const CaseSpec& cs, const Failure& f) {
+  std::string key = to_string(f.kind);
+  key += '/';
+  key += f.id;
+  key += '/';
+  key += cs.mutant.empty() ? app::to_string(cs.variant) : cs.mutant.c_str();
+  return key;
+}
+
+}  // namespace rrtcp::fuzz

@@ -1,0 +1,273 @@
+#include "fuzz/serialize.hpp"
+
+#include <cinttypes>
+#include <climits>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/mutants.hpp"
+
+namespace rrtcp::fuzz {
+
+namespace {
+
+void emit(std::string* out, const char* key, const char* fmt, ...) {
+  char line[352];
+  int n = std::snprintf(line, sizeof line, "%s = ", key);
+  std::va_list ap;
+  va_start(ap, fmt);
+  n += std::vsnprintf(line + n, sizeof line - static_cast<std::size_t>(n),
+                      fmt, ap);
+  va_end(ap);
+  out->append(line, static_cast<std::size_t>(n));
+  out->push_back('\n');
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+bool parse_i64(std::string_view v, std::int64_t* out) {
+  const std::string tmp{v};
+  char* end = nullptr;
+  const long long r = std::strtoll(tmp.c_str(), &end, 10);
+  if (end == tmp.c_str() || *end != '\0') return false;
+  *out = r;
+  return true;
+}
+
+bool parse_u64(std::string_view v, std::uint64_t* out) {
+  const std::string tmp{v};
+  char* end = nullptr;
+  const unsigned long long r = std::strtoull(tmp.c_str(), &end, 10);
+  if (end == tmp.c_str() || *end != '\0') return false;
+  *out = r;
+  return true;
+}
+
+bool parse_int(std::string_view v, int* out) {
+  std::int64_t r;
+  if (!parse_i64(v, &r) || r < INT_MIN || r > INT_MAX) return false;
+  *out = static_cast<int>(r);
+  return true;
+}
+
+bool parse_double(std::string_view v, double* out) {
+  const std::string tmp{v};
+  char* end = nullptr;
+  const double r = std::strtod(tmp.c_str(), &end);
+  if (end == tmp.c_str() || *end != '\0') return false;
+  *out = r;
+  return true;
+}
+
+bool parse_time(std::string_view v, sim::Time* out) {
+  std::int64_t ps;
+  if (!parse_i64(v, &ps)) return false;
+  *out = sim::Time::picoseconds(ps);
+  return true;
+}
+
+bool parse_bool(std::string_view v, bool* out) {
+  if (v == "0") {
+    *out = false;
+    return true;
+  }
+  if (v == "1") {
+    *out = true;
+    return true;
+  }
+  return false;
+}
+
+bool fail(std::string* error, int line_no, const std::string& what) {
+  if (error != nullptr) {
+    std::ostringstream os;
+    os << "line " << line_no << ": " << what;
+    *error = os.str();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string to_replay_text(const CaseSpec& cs,
+                           const std::vector<std::string>& expect) {
+  std::string out;
+  out += "format = ";
+  out += kReplayFormat;
+  out += '\n';
+  emit(&out, "seed", "%" PRIu64, cs.seed);
+  emit(&out, "variant", "%s", app::to_string(cs.variant));
+  if (!cs.mutant.empty()) emit(&out, "mutant", "%s", cs.mutant.c_str());
+  emit(&out, "topo", "%s", to_string(cs.topo));
+  emit(&out, "hops", "%d", cs.hops);
+  emit(&out, "extra_receivers", "%d", cs.extra_receivers);
+  emit(&out, "mesh_routers", "%d", cs.mesh_routers);
+  emit(&out, "mesh_chords", "%d", cs.mesh_chords);
+  emit(&out, "bottleneck_bps", "%" PRId64, cs.bottleneck_bps);
+  emit(&out, "bottleneck_delay_ps", "%" PRId64, cs.bottleneck_delay.ps());
+  emit(&out, "queue", "%s", to_string(cs.queue));
+  emit(&out, "queue_packets", "%" PRIu64, cs.queue_packets);
+  emit(&out, "red_min_th", "%.17g", cs.red_min_th);
+  emit(&out, "red_max_th", "%.17g", cs.red_max_th);
+  emit(&out, "red_max_p", "%.17g", cs.red_max_p);
+  emit(&out, "n_flows", "%d", cs.n_flows);
+  emit(&out, "bytes_per_flow", "%" PRIu64, cs.bytes_per_flow);
+  emit(&out, "stagger_ps", "%" PRId64, cs.stagger.ps());
+  emit(&out, "smooth_start", "%d", cs.smooth_start ? 1 : 0);
+  emit(&out, "n_cbr", "%d", cs.n_cbr);
+  emit(&out, "cbr_load", "%.17g", cs.cbr_load);
+  emit(&out, "horizon_ps", "%" PRId64, cs.horizon.ps());
+  emit(&out, "wd_check_interval_ps", "%" PRId64, cs.wd_check_interval.ps());
+  emit(&out, "wd_stall_rto_factor", "%d", cs.wd_stall_rto_factor);
+  emit(&out, "wd_livelock_rtx", "%d", cs.wd_livelock_rtx);
+  if (cs.wd_stall_ceiling)
+    emit(&out, "wd_stall_ceiling_ps", "%" PRId64, cs.wd_stall_ceiling->ps());
+  for (const chaos::FaultSpec& f : cs.plan.faults)
+    emit(&out, "fault", "%s", f.to_text().c_str());
+  for (const std::string& e : expect) emit(&out, "expect", "%s", e.c_str());
+  return out;
+}
+
+bool parse_replay_text(std::string_view text, ReplayCase* out,
+                       std::string* error) {
+  ReplayCase rc;
+  bool saw_format = false;
+  int line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const std::size_t nl = text.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos)
+      return fail(error, line_no, "expected 'key = value'");
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+
+    if (!saw_format) {
+      if (key != "format")
+        return fail(error, line_no, "first entry must be 'format'");
+      if (value != kReplayFormat)
+        return fail(error, line_no,
+                    "unsupported format '" + std::string{value} + "'");
+      saw_format = true;
+      continue;
+    }
+
+    CaseSpec& cs = rc.spec;
+    bool ok = true;
+    if (key == "seed") {
+      ok = parse_u64(value, &cs.seed);
+    } else if (key == "variant") {
+      try {
+        cs.variant = app::variant_from_string(value);
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    } else if (key == "mutant") {
+      if (!is_mutant(value))
+        return fail(error, line_no,
+                    "unknown mutant '" + std::string{value} + "'");
+      cs.mutant = std::string{value};
+    } else if (key == "topo") {
+      ok = topo_kind_from_string(value, &cs.topo);
+    } else if (key == "hops") {
+      ok = parse_int(value, &cs.hops);
+    } else if (key == "extra_receivers") {
+      ok = parse_int(value, &cs.extra_receivers);
+    } else if (key == "mesh_routers") {
+      ok = parse_int(value, &cs.mesh_routers);
+    } else if (key == "mesh_chords") {
+      ok = parse_int(value, &cs.mesh_chords);
+    } else if (key == "bottleneck_bps") {
+      ok = parse_i64(value, &cs.bottleneck_bps);
+    } else if (key == "bottleneck_delay_ps") {
+      ok = parse_time(value, &cs.bottleneck_delay);
+    } else if (key == "queue") {
+      ok = queue_kind_from_string(value, &cs.queue);
+    } else if (key == "queue_packets") {
+      ok = parse_u64(value, &cs.queue_packets);
+    } else if (key == "red_min_th") {
+      ok = parse_double(value, &cs.red_min_th);
+    } else if (key == "red_max_th") {
+      ok = parse_double(value, &cs.red_max_th);
+    } else if (key == "red_max_p") {
+      ok = parse_double(value, &cs.red_max_p);
+    } else if (key == "n_flows") {
+      ok = parse_int(value, &cs.n_flows);
+    } else if (key == "bytes_per_flow") {
+      ok = parse_u64(value, &cs.bytes_per_flow);
+    } else if (key == "stagger_ps") {
+      ok = parse_time(value, &cs.stagger);
+    } else if (key == "smooth_start") {
+      ok = parse_bool(value, &cs.smooth_start);
+    } else if (key == "n_cbr") {
+      ok = parse_int(value, &cs.n_cbr);
+    } else if (key == "cbr_load") {
+      ok = parse_double(value, &cs.cbr_load);
+    } else if (key == "horizon_ps") {
+      ok = parse_time(value, &cs.horizon);
+    } else if (key == "wd_check_interval_ps") {
+      ok = parse_time(value, &cs.wd_check_interval);
+    } else if (key == "wd_stall_rto_factor") {
+      ok = parse_int(value, &cs.wd_stall_rto_factor);
+    } else if (key == "wd_livelock_rtx") {
+      ok = parse_int(value, &cs.wd_livelock_rtx);
+    } else if (key == "wd_stall_ceiling_ps") {
+      sim::Time t;
+      ok = parse_time(value, &t);
+      if (ok) cs.wd_stall_ceiling = t;
+    } else if (key == "fault") {
+      chaos::FaultSpec f;
+      if (!chaos::FaultSpec::from_text(value, &f))
+        return fail(error, line_no, "malformed fault spec");
+      cs.plan.faults.push_back(f);
+    } else if (key == "expect") {
+      rc.expect.emplace_back(value);
+    } else {
+      return fail(error, line_no, "unknown key '" + std::string{key} + "'");
+    }
+    if (!ok)
+      return fail(error, line_no,
+                  "bad value for '" + std::string{key} + "'");
+  }
+  if (!saw_format) return fail(error, 0, "missing 'format' line");
+  *out = std::move(rc);
+  return true;
+}
+
+bool load_replay_file(const std::string& path, ReplayCase* out,
+                      std::string* error) {
+  std::ifstream in{path};
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_replay_text(buf.str(), out, error);
+}
+
+bool write_replay_file(const std::string& path, const CaseSpec& cs,
+                       const std::vector<std::string>& expect) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) return false;
+  out << to_replay_text(cs, expect);
+  return static_cast<bool>(out);
+}
+
+}  // namespace rrtcp::fuzz

@@ -1,0 +1,54 @@
+// Replay-file codec: a CaseSpec as a self-contained text artifact.
+//
+// A minimized repro is only useful if it survives being checked in: the
+// format is line-oriented `key = value` (order-insensitive, '#' comments,
+// blank lines ignored) with times as exact picosecond integers and doubles
+// printed with round-trip precision, so a file reproduces the identical
+// simulation bit-for-bit on any host. `fault =` lines carry the
+// FaultPlan one spec per line (chaos::FaultSpec::to_text); `expect =`
+// lines carry the bucket keys the case is known to hit — the replay
+// driver and the ctest corpus runner grade against them.
+//
+//   format = rrtcp-fuzz-repro-v1
+//   # bucket: watchdog/WD_SILENT_DEATH/dead-rto
+//   seed = 77
+//   mutant = dead-rto
+//   ...
+//   fault = kind=outage path=data start_ps=500000000000 ...
+//   expect = watchdog/WD_SILENT_DEATH/dead-rto
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/case_spec.hpp"
+
+namespace rrtcp::fuzz {
+
+inline constexpr std::string_view kReplayFormat = "rrtcp-fuzz-repro-v1";
+
+struct ReplayCase {
+  CaseSpec spec;
+  // Bucket keys this case is expected to hit (subset check at replay time;
+  // empty = expect a clean run).
+  std::vector<std::string> expect;
+};
+
+// Serializes every field (including defaults — a file is immune to future
+// default changes). `expect` entries become `expect =` lines.
+std::string to_replay_text(const CaseSpec& cs,
+                           const std::vector<std::string>& expect = {});
+
+// Strict inverse: unknown keys, malformed values, duplicate scalars, or a
+// missing/unsupported `format` line fail with a one-line diagnostic in
+// *error (when non-null). Unknown mutant names fail here, at load time.
+bool parse_replay_text(std::string_view text, ReplayCase* out,
+                       std::string* error = nullptr);
+
+bool load_replay_file(const std::string& path, ReplayCase* out,
+                      std::string* error = nullptr);
+bool write_replay_file(const std::string& path, const CaseSpec& cs,
+                       const std::vector<std::string>& expect = {});
+
+}  // namespace rrtcp::fuzz

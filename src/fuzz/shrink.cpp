@@ -1,0 +1,165 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+namespace rrtcp::fuzz {
+
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(std::string bucket, const ShrinkOptions& opts)
+      : bucket_{std::move(bucket)}, max_attempts_{opts.max_attempts} {
+    // The expensive double-run oracles only stay on when the bucket under
+    // preservation IS one of them; an audit/watchdog bucket shrinks on
+    // single runs.
+    run_.check_determinism = bucket_.rfind("determinism/", 0) == 0;
+    run_.check_equivalence = bucket_.rfind("equivalence/", 0) == 0;
+  }
+
+  bool budget() const { return attempts_ < max_attempts_; }
+  int attempts() const { return attempts_; }
+  int accepted() const { return accepted_; }
+
+  bool hits(const CaseSpec& cs) {
+    ++attempts_;
+    const RunOutcome out = run_case(cs, run_);
+    for (const Failure& f : out.failures)
+      if (bucket_key(cs, f) == bucket_) return true;
+    return false;
+  }
+
+  // Accept `cand` as the new current spec iff it still hits the bucket.
+  bool take(CaseSpec* cur, CaseSpec cand) {
+    if (!budget() || !hits(cand)) return false;
+    *cur = std::move(cand);
+    ++accepted_;
+    return true;
+  }
+
+ private:
+  std::string bucket_;
+  RunOptions run_;
+  int max_attempts_;
+  int attempts_ = 0;
+  int accepted_ = 0;
+};
+
+// Greedy one-at-a-time ddmin over the fault list: cheap (plans are short)
+// and order-stable. Restarts after every accepted removal so indices stay
+// honest.
+bool pass_faults(CaseSpec* cur, Shrinker* sh) {
+  bool any = false;
+  bool improved = true;
+  while (improved && sh->budget()) {
+    improved = false;
+    for (std::size_t i = 0; i < cur->plan.faults.size() && sh->budget(); ++i) {
+      CaseSpec cand = *cur;
+      cand.plan.faults.erase(cand.plan.faults.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      if (sh->take(cur, std::move(cand))) {
+        any = improved = true;
+        break;
+      }
+    }
+  }
+  return any;
+}
+
+bool pass_topology(CaseSpec* cur, Shrinker* sh) {
+  bool any = false;
+  if (cur->topo != TopoKind::kDumbbell) {
+    CaseSpec cand = *cur;
+    cand.topo = TopoKind::kDumbbell;
+    any |= sh->take(cur, std::move(cand));
+  }
+  // Shrink the shape parameters of whatever topology survived (no-ops on
+  // the dumbbell — the fields are unused there, normalize them anyway so
+  // minimized specs are canonical).
+  if (cur->hops != 2 || cur->extra_receivers != 1 || cur->mesh_routers != 3 ||
+      cur->mesh_chords != 0) {
+    CaseSpec cand = *cur;
+    cand.hops = 2;
+    cand.extra_receivers = 1;
+    cand.mesh_routers = 3;
+    cand.mesh_chords = 0;
+    any |= sh->take(cur, std::move(cand));
+  }
+  return any;
+}
+
+bool pass_workload(CaseSpec* cur, Shrinker* sh) {
+  bool any = false;
+  while (cur->n_flows > 1 && sh->budget()) {
+    CaseSpec cand = *cur;
+    cand.n_flows = std::max(1, cand.n_flows / 2);
+    if (!sh->take(cur, std::move(cand))) break;
+    any = true;
+  }
+  if (cur->n_cbr > 0) {
+    CaseSpec cand = *cur;
+    cand.n_cbr = 0;
+    cand.cbr_load = 0.0;
+    any |= sh->take(cur, std::move(cand));
+  }
+  if (cur->queue != QueueKind::kDropTail) {
+    CaseSpec cand = *cur;
+    cand.queue = QueueKind::kDropTail;
+    any |= sh->take(cur, std::move(cand));
+  }
+  while (cur->bytes_per_flow / 2 >= 10'000 && sh->budget()) {
+    CaseSpec cand = *cur;
+    cand.bytes_per_flow /= 2;
+    if (!sh->take(cur, std::move(cand))) break;
+    any = true;
+  }
+  if (cur->stagger > sim::Time::zero()) {
+    CaseSpec cand = *cur;
+    cand.stagger = sim::Time::zero();
+    any |= sh->take(cur, std::move(cand));
+  }
+  if (cur->smooth_start) {
+    CaseSpec cand = *cur;
+    cand.smooth_start = false;
+    any |= sh->take(cur, std::move(cand));
+  }
+  return any;
+}
+
+bool pass_horizon(CaseSpec* cur, Shrinker* sh) {
+  bool any = false;
+  while (cur->horizon >= sim::Time::seconds(20.0) && sh->budget()) {
+    CaseSpec cand = *cur;
+    cand.horizon = sim::Time::picoseconds(cand.horizon.ps() / 2);
+    if (!sh->take(cur, std::move(cand))) break;
+    any = true;
+  }
+  return any;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const CaseSpec& cs, const std::string& bucket,
+                    const ShrinkOptions& opts) {
+  Shrinker sh{bucket, opts};
+  CaseSpec cur = cs;
+  // The contract check: a bucket the input cannot reproduce is returned
+  // as-is (flaky inputs exist only if a determinism bug does — which is
+  // itself a bucket).
+  if (!sh.hits(cur))
+    return {std::move(cur), sh.attempts(), sh.accepted()};
+
+  bool changed = true;
+  while (changed && sh.budget()) {
+    changed = false;
+    changed |= pass_topology(&cur, &sh);
+    changed |= pass_workload(&cur, &sh);
+    changed |= pass_faults(&cur, &sh);
+    changed |= pass_horizon(&cur, &sh);
+  }
+  return {std::move(cur), sh.attempts(), sh.accepted()};
+}
+
+}  // namespace rrtcp::fuzz

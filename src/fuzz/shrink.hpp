@@ -1,0 +1,41 @@
+// Delta-debugging shrinker: minimize a failing CaseSpec, keep the bug.
+//
+// "The bug" is a bucket key (runner.hpp): a candidate is accepted exactly
+// when re-running it still produces a failure in the SAME bucket, so the
+// minimized case provably fails the same way — not merely somehow. Passes
+// remove fault events (greedy ddmin), collapse the topology to the
+// dumbbell, cut flows and cross-traffic, revert RED to drop-tail, halve
+// the transfer and the horizon, and zero the stagger; the pass list loops
+// to a fixed point, so shrinking an already-minimal case changes nothing
+// (the idempotence the corpus tests assert).
+//
+// Every candidate evaluation is one deterministic run_case, so the whole
+// shrink is a pure function of (input spec, bucket, options) — replayable
+// and thread-count independent.
+#pragma once
+
+#include <string>
+
+#include "fuzz/case_spec.hpp"
+#include "fuzz/runner.hpp"
+
+namespace rrtcp::fuzz {
+
+struct ShrinkOptions {
+  // Cap on candidate evaluations (each is a full simulation; a shrink is
+  // bounded work no matter how pathological the case).
+  int max_attempts = 200;
+};
+
+struct ShrinkResult {
+  CaseSpec spec;      // the minimized case (== input if nothing shrank)
+  int attempts = 0;   // candidate runs evaluated
+  int accepted = 0;   // candidates that kept the bucket and were taken
+};
+
+// Requires that `cs` actually hits `bucket` (the caller just observed it);
+// if it does not reproduce, the input is returned unshrunk.
+ShrinkResult shrink(const CaseSpec& cs, const std::string& bucket,
+                    const ShrinkOptions& opts = {});
+
+}  // namespace rrtcp::fuzz

@@ -1,0 +1,87 @@
+#include "fuzz/spec_gen.hpp"
+
+#include <algorithm>
+
+#include "harness/sweep.hpp"
+#include "sim/rng.hpp"
+
+namespace rrtcp::fuzz {
+
+namespace {
+
+sim::Time uniform_time(sim::Rng& rng, sim::Time lo, sim::Time hi) {
+  return sim::Time::picoseconds(static_cast<std::int64_t>(rng.uniform_int(
+      static_cast<std::uint64_t>(lo.ps()), static_cast<std::uint64_t>(hi.ps()))));
+}
+
+double uniform_range(sim::Rng& rng, double lo, double hi) {
+  return lo + (hi - lo) * rng.uniform01();
+}
+
+}  // namespace
+
+CaseSpec SpecGenerator::generate(std::uint64_t index) const {
+  CaseSpec cs;
+  cs.seed = harness::derive_seed(master_seed_, index);
+  sim::Rng rng{cs.seed, "fuzz-gen"};
+
+  cs.variant = app::kAllVariants[rng.uniform_int(
+      0, std::size(app::kAllVariants) - 1)];
+  cs.topo = static_cast<TopoKind>(
+      rng.uniform_int(0, static_cast<std::uint64_t>(TopoKind::kCount) - 1));
+
+  cs.bottleneck_bps =
+      static_cast<std::int64_t>(rng.uniform_int(300'000, 2'000'000));
+  cs.bottleneck_delay = uniform_time(rng, sim::Time::milliseconds(10),
+                                     sim::Time::milliseconds(120));
+  cs.queue_packets = rng.uniform_int(4, 32);
+  // RED only on the dumbbell: multi-hop presets build their queues inside
+  // the GraphSpec, and a shared drop-RNG across hops would correlate drops.
+  if (cs.topo == TopoKind::kDumbbell && rng.bernoulli(0.3)) {
+    cs.queue = QueueKind::kRed;
+    cs.red_min_th = uniform_range(rng, 3.0, 8.0);
+    cs.red_max_th = cs.red_min_th + uniform_range(rng, 8.0, 18.0);
+    cs.red_max_p = uniform_range(rng, 0.01, 0.1);
+    cs.queue_packets =
+        std::max<std::uint64_t>(cs.queue_packets,
+                                static_cast<std::uint64_t>(cs.red_max_th) + 5);
+  }
+
+  cs.hops = static_cast<int>(rng.uniform_int(2, 4));
+  cs.extra_receivers = static_cast<int>(rng.uniform_int(1, 3));
+  cs.mesh_routers = static_cast<int>(rng.uniform_int(3, 6));
+  cs.mesh_chords = static_cast<int>(rng.uniform_int(0, 2));
+
+  cs.n_flows = static_cast<int>(rng.uniform_int(1, 3));
+  cs.bytes_per_flow = rng.uniform_int(20'000, 100'000);
+  cs.stagger = uniform_time(rng, sim::Time::zero(),
+                            sim::Time::milliseconds(500));
+  cs.smooth_start = rng.bernoulli(0.5);
+  if (cs.topo == TopoKind::kDumbbell && rng.bernoulli(0.3)) {
+    cs.n_cbr = static_cast<int>(rng.uniform_int(1, 2));
+    cs.cbr_load = uniform_range(rng, 0.05, 0.25);
+  }
+
+  cs.wd_check_interval = uniform_time(rng, sim::Time::milliseconds(200),
+                                      sim::Time::milliseconds(800));
+  if (rng.bernoulli(0.5))
+    cs.wd_stall_ceiling = uniform_time(rng, sim::Time::seconds(25.0),
+                                       sim::Time::seconds(45.0));
+
+  // The default PlanBounds are the chaos soak's hostile-but-survivable
+  // envelope: windows end by ~35 s. Size the horizon as a serialized-
+  // transfer estimate with generous slack plus that fault allowance, so a
+  // healthy sender that loses whole windows still has room to finish.
+  if (rng.bernoulli(0.8))
+    cs.plan = chaos::make_random_plan(harness::derive_seed(cs.seed, 1));
+  const double transfer_s =
+      static_cast<double>(cs.bytes_per_flow) * 8.0 *
+      static_cast<double>(cs.n_flows) /
+      static_cast<double>(cs.bottleneck_bps);
+  const double fault_allowance_s = cs.plan.empty() ? 10.0 : 35.0;
+  cs.horizon = sim::Time::seconds(
+      std::clamp(transfer_s * 4.0 + fault_allowance_s + 15.0, 60.0, 150.0));
+  return cs;
+}
+
+}  // namespace rrtcp::fuzz

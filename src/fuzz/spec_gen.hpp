@@ -1,0 +1,38 @@
+// Seeded scenario generator: one master seed, unbounded valid cases.
+//
+// generate(i) is a pure function of (master_seed, i): the case's seed is
+// harness::derive_seed(master_seed, i) and every sampling draw comes from a
+// named sim::Rng stream of that seed, so case i is identical whatever order
+// or thread generates it — the property the byte-identical campaign output
+// and the resume-from-index replay both rest on.
+//
+// The generator samples VALID specs by construction (a kBuildReject from a
+// generated case is a generator bug, and the runner buckets it as one) and
+// inside the chaos soak's proven survivable envelope: workloads are sized
+// so the horizon leaves headroom for the hostile-but-survivable default
+// PlanBounds — a healthy variant must finish a campaign with zero oracle
+// hits, or the fuzzer is noise.
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/case_spec.hpp"
+
+namespace rrtcp::fuzz {
+
+class SpecGenerator {
+ public:
+  explicit SpecGenerator(std::uint64_t master_seed)
+      : master_seed_{master_seed} {}
+
+  // The i-th sampled case (never a mutant — campaigns inject those
+  // deliberately by setting CaseSpec::mutant on chosen indices).
+  CaseSpec generate(std::uint64_t index) const;
+
+  std::uint64_t master_seed() const { return master_seed_; }
+
+ private:
+  std::uint64_t master_seed_;
+};
+
+}  // namespace rrtcp::fuzz

@@ -1,0 +1,79 @@
+#include "fuzz/triage.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "fuzz/serialize.hpp"
+
+namespace rrtcp::fuzz {
+
+bool FailureTriage::record(const CaseSpec& cs, const Failure& f,
+                           std::uint64_t index) {
+  ++total_hits_;
+  const std::string key = bucket_key(cs, f);
+  auto [it, inserted] = buckets_.try_emplace(key);
+  TriagedFailure& t = it->second;
+  ++t.hits;
+  if (!inserted) return false;
+  t.bucket = key;
+  t.exemplar = f;
+  t.first_index = index;
+  t.repro = cs;
+  return true;
+}
+
+void FailureTriage::attach_minimized(const std::string& bucket,
+                                     const ShrinkResult& r) {
+  const auto it = buckets_.find(bucket);
+  if (it == buckets_.end()) return;
+  it->second.repro = r.spec;
+  it->second.minimized = true;
+  it->second.shrink_attempts = r.attempts;
+  it->second.shrink_accepted = r.accepted;
+}
+
+std::string FailureTriage::report() const {
+  char line[512];
+  std::string out;
+  std::snprintf(line, sizeof line, "%zu bucket(s), %" PRIu64 " failure(s)\n",
+                buckets_.size(), total_hits_);
+  out += line;
+  for (const auto& [key, t] : buckets_) {
+    std::snprintf(line, sizeof line,
+                  "bucket %s: hits=%" PRIu64 " first_index=%" PRIu64
+                  " repro{faults=%zu flows=%d topo=%s}%s\n",
+                  key.c_str(), t.hits, t.first_index, t.repro.plan.faults.size(),
+                  t.repro.n_flows, to_string(t.repro.topo),
+                  t.minimized ? " minimized" : "");
+    out += line;
+    std::snprintf(line, sizeof line, "  %s\n", t.exemplar.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+int FailureTriage::write_corpus(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return -1;
+  int written = 0;
+  for (const auto& [key, t] : buckets_) {
+    const std::string path = dir + "/" + sanitize(key) + ".repro";
+    if (!write_replay_file(path, t.repro, {key})) return -1;
+    ++written;
+  }
+  return written;
+}
+
+std::string FailureTriage::sanitize(const std::string& bucket) {
+  std::string name = bucket;
+  for (char& c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) c = '-';
+  }
+  return name;
+}
+
+}  // namespace rrtcp::fuzz

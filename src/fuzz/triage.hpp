@@ -1,0 +1,66 @@
+// Failure triage: dedup by bucket, keep one minimized repro per bug.
+//
+// A campaign can hit the same defect thousands of times; what a human (and
+// the regression corpus) wants is ONE exemplar per bucket — the stable
+// (oracle, ID, variant-or-mutant) key from runner.hpp — with its hit
+// count, the first campaign index that found it, and the delta-debugged
+// minimal CaseSpec. Buckets live in a std::map so every report and corpus
+// write-out is in key order: byte-identical whatever thread interleaving
+// produced the hits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "fuzz/case_spec.hpp"
+#include "fuzz/runner.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace rrtcp::fuzz {
+
+struct TriagedFailure {
+  std::string bucket;
+  Failure exemplar;             // first failure observed in this bucket
+  std::uint64_t first_index = 0;  // campaign index of the first hit
+  std::uint64_t hits = 0;         // failures deduped into this bucket
+  CaseSpec repro;               // minimized spec (the first hit's spec
+                                // until attach_minimized replaces it)
+  bool minimized = false;
+  int shrink_attempts = 0;
+  int shrink_accepted = 0;
+};
+
+class FailureTriage {
+ public:
+  // Dedups `f` into its bucket; returns true when the bucket is new (the
+  // campaign's cue to shrink this case).
+  bool record(const CaseSpec& cs, const Failure& f, std::uint64_t index);
+
+  // Replaces the bucket's repro with the shrinker's output.
+  void attach_minimized(const std::string& bucket, const ShrinkResult& r);
+
+  bool empty() const { return buckets_.empty(); }
+  std::size_t n_buckets() const { return buckets_.size(); }
+  std::uint64_t total_hits() const { return total_hits_; }
+  const std::map<std::string, TriagedFailure>& buckets() const {
+    return buckets_;
+  }
+
+  // Deterministic multi-line summary (bucket order, integers only).
+  std::string report() const;
+
+  // One replay file per bucket under `dir` (created if missing), named
+  // from the sanitized bucket key, `expect` set to the bucket. Returns the
+  // number of files written, -1 on I/O failure.
+  int write_corpus(const std::string& dir) const;
+
+  // "audit/RR_PROBE_CLOCK/broken-probe" -> "audit-RR_PROBE_CLOCK-broken-probe"
+  static std::string sanitize(const std::string& bucket);
+
+ private:
+  std::map<std::string, TriagedFailure> buckets_;
+  std::uint64_t total_hits_ = 0;
+};
+
+}  // namespace rrtcp::fuzz

@@ -34,10 +34,160 @@ std::function<std::unique_ptr<net::QueueDisc>()> make_queue_factory(
   return {};
 }
 
+// Breadth-first reachability over a GraphSpec's directed links — the same
+// connectivity TopologyGraph's shortest-path routing will find, computable
+// without materializing nodes or a simulator.
+bool reachable(const topo::GraphSpec& g, int from, int to) {
+  if (from == to) return true;
+  std::vector<char> seen(static_cast<std::size_t>(g.n_nodes()), 0);
+  std::vector<int> frontier{from};
+  seen[static_cast<std::size_t>(from)] = 1;
+  while (!frontier.empty()) {
+    std::vector<int> next;
+    for (const int at : frontier) {
+      for (const topo::LinkSpec& l : g.links) {
+        if (l.from != at || seen[static_cast<std::size_t>(l.to)] != 0)
+          continue;
+        if (l.to == to) return true;
+        seen[static_cast<std::size_t>(l.to)] = 1;
+        next.push_back(l.to);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return false;
+}
+
 }  // namespace
+
+const char* to_string(SpecError::Code c) {
+  switch (c) {
+    case SpecError::Code::kNoFlows:
+      return "no-flows";
+    case SpecError::Code::kBadHorizon:
+      return "bad-horizon";
+    case SpecError::Code::kBadRate:
+      return "bad-rate";
+    case SpecError::Code::kBadLink:
+      return "bad-link";
+    case SpecError::Code::kBadEndpoint:
+      return "bad-endpoint";
+    case SpecError::Code::kUnroutable:
+      return "unroutable";
+    case SpecError::Code::kBadCbr:
+      return "bad-cbr";
+  }
+  return "?";
+}
+
+std::optional<SpecError> Scenario::validate(const ScenarioSpec& spec) {
+  auto fail = [](SpecError::Code c, std::string d) {
+    return std::optional<SpecError>{SpecError{c, std::move(d)}};
+  };
+
+  if (spec.flows.empty())
+    return fail(SpecError::Code::kNoFlows, "scenario has no flows");
+  if (spec.horizon <= sim::Time::zero())
+    return fail(SpecError::Code::kBadHorizon, "horizon must be > 0");
+
+  if (spec.graph.empty()) {
+    // Dumbbell mode: the preset wires the graph itself, so only the rate
+    // knobs can be structurally wrong.
+    if (spec.topology.bottleneck_bps <= 0)
+      return fail(SpecError::Code::kBadRate, "bottleneck_bps must be > 0");
+    if (spec.topology.side_bps <= 0)
+      return fail(SpecError::Code::kBadRate, "side_bps must be > 0");
+    if (spec.topology.reverse_bps < 0)
+      return fail(SpecError::Code::kBadRate, "reverse_bps must be >= 0");
+    for (std::size_t j = 0; j < spec.cross_traffic.size(); ++j) {
+      const CbrSpec& cs = spec.cross_traffic[j];
+      if (cs.packet_bytes == 0)
+        return fail(SpecError::Code::kBadCbr,
+                    "cbr " + std::to_string(j) + ": packet_bytes must be > 0");
+      if (cs.load_fraction <= 0.0 && cs.rate_bps <= 0)
+        return fail(SpecError::Code::kBadCbr,
+                    "cbr " + std::to_string(j) +
+                        ": needs load_fraction or rate_bps > 0");
+    }
+    return std::nullopt;
+  }
+
+  // Graph mode.
+  const topo::GraphSpec& g = spec.graph;
+  const int n = g.n_nodes();
+  for (std::size_t i = 0; i < g.links.size(); ++i) {
+    const topo::LinkSpec& l = g.links[i];
+    if (l.from < 0 || l.from >= n || l.to < 0 || l.to >= n || l.from == l.to)
+      return fail(SpecError::Code::kBadLink,
+                  "link " + std::to_string(i) + ": endpoints out of range");
+    if (l.bandwidth_bps <= 0)
+      return fail(SpecError::Code::kBadRate,
+                  "link " + std::to_string(i) + ": bandwidth must be > 0");
+  }
+  for (std::size_t i = 0; i < g.routes.size(); ++i) {
+    const topo::RouteSpec& r = g.routes[i];
+    if (r.at < 0 || r.at >= n || r.dst < 0 || r.dst >= n || r.link < 0 ||
+        r.link >= static_cast<int>(g.links.size()))
+      return fail(SpecError::Code::kBadLink,
+                  "route " + std::to_string(i) + ": indices out of range");
+  }
+  for (const int link : spec.audited_links) {
+    if (link < 0 || link >= static_cast<int>(g.links.size()))
+      return fail(SpecError::Code::kBadLink,
+                  "audited link " + std::to_string(link) + " out of range");
+  }
+  for (std::size_t i = 0; i < spec.flows.size(); ++i) {
+    const FlowSpec& fs = spec.flows[i];
+    if (fs.src_node < 0 || fs.src_node >= n || fs.dst_node < 0 ||
+        fs.dst_node >= n || fs.src_node == fs.dst_node)
+      return fail(SpecError::Code::kBadEndpoint,
+                  "flow " + std::to_string(i) + ": src/dst node invalid");
+    // Data must reach the receiver AND its ACKs must get home.
+    if (!reachable(g, fs.src_node, fs.dst_node) ||
+        !reachable(g, fs.dst_node, fs.src_node))
+      return fail(SpecError::Code::kUnroutable,
+                  "flow " + std::to_string(i) + ": no path " +
+                      std::to_string(fs.src_node) + "<->" +
+                      std::to_string(fs.dst_node));
+  }
+  for (std::size_t j = 0; j < spec.cross_traffic.size(); ++j) {
+    const CbrSpec& cs = spec.cross_traffic[j];
+    if (cs.src_node < 0 || cs.src_node >= n || cs.dst_node < 0 ||
+        cs.dst_node >= n || cs.src_node == cs.dst_node)
+      return fail(SpecError::Code::kBadCbr,
+                  "cbr " + std::to_string(j) + ": src/dst node invalid");
+    if (cs.rate_bps <= 0)
+      return fail(SpecError::Code::kBadCbr,
+                  "cbr " + std::to_string(j) +
+                      ": graph mode needs explicit rate_bps > 0");
+    if (cs.packet_bytes == 0)
+      return fail(SpecError::Code::kBadCbr,
+                  "cbr " + std::to_string(j) + ": packet_bytes must be > 0");
+    if (!reachable(g, cs.src_node, cs.dst_node))
+      return fail(SpecError::Code::kUnroutable,
+                  "cbr " + std::to_string(j) + ": no path " +
+                      std::to_string(cs.src_node) + "->" +
+                      std::to_string(cs.dst_node));
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<Scenario> Scenario::try_build(ScenarioSpec spec,
+                                              SpecError* err) {
+  if (std::optional<SpecError> e = validate(spec)) {
+    if (err != nullptr) *err = std::move(*e);
+    return nullptr;
+  }
+  return std::make_unique<Scenario>(std::move(spec));
+}
 
 Scenario::Scenario(ScenarioSpec spec) : spec_{std::move(spec)} {
   RRTCP_ASSERT_MSG(!spec_.flows.empty(), "scenario needs at least one flow");
+
+  // Engine-tier selection must precede every schedule (the hook asserts
+  // the wheel is empty); the fuzzer's equivalence oracle builds the same
+  // spec with the wheel off and expects byte-identical traces.
+  if (!spec_.timer_wheel) sim_.set_timer_wheel_enabled(false);
 
   if (spec_.graph.empty()) {
     build_dumbbell();
@@ -101,9 +251,11 @@ void Scenario::build_dumbbell() {
                                 : topo_->sender_node(i);
     net::Node& rcv = fs.reverse ? topo_->sender_node(i)
                                 : topo_->receiver_node(i);
-    flows_.push_back(app::make_flow(fs.variant, sim_, snd, rcv,
-                                    static_cast<net::FlowId>(i + 1),
-                                    fs.tcp));
+    const auto id = static_cast<net::FlowId>(i + 1);
+    flows_.push_back(spec_.flow_maker
+                         ? spec_.flow_maker(sim_, snd, rcv, id, fs)
+                         : app::make_flow(fs.variant, sim_, snd, rcv, id,
+                                          fs.tcp));
   }
 
   const std::int64_t rev_bps = netcfg.reverse_bps > 0
@@ -144,10 +296,13 @@ void Scenario::build_graph() {
     const FlowSpec& fs = spec_.flows[i];
     RRTCP_ASSERT_MSG(fs.src_node >= 0 && fs.dst_node >= 0,
                      "graph-mode flows need src_node/dst_node");
-    flows_.push_back(app::make_flow(
-        fs.variant, sim_, graph_->node(fs.src_node),
-        graph_->node(fs.dst_node), static_cast<net::FlowId>(i + 1),
-        fs.tcp));
+    const auto id = static_cast<net::FlowId>(i + 1);
+    flows_.push_back(
+        spec_.flow_maker
+            ? spec_.flow_maker(sim_, graph_->node(fs.src_node),
+                               graph_->node(fs.dst_node), id, fs)
+            : app::make_flow(fs.variant, sim_, graph_->node(fs.src_node),
+                             graph_->node(fs.dst_node), id, fs.tcp));
   }
 
   for (std::size_t j = 0; j < spec_.cross_traffic.size(); ++j) {

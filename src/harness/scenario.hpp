@@ -35,11 +35,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "app/flow_factory.hpp"
 #include "app/ftp.hpp"
 #include "app/variant.hpp"
 #include "harness/instrumentation.hpp"
@@ -113,6 +115,26 @@ struct CbrSpec {
   int dst_node = -1;
 };
 
+// Why a spec could not be built. `code` is the machine-checkable class
+// (what a generator switches on to discard-and-resample); `detail` names
+// the offending flow/link/field for humans. Returned by Scenario::validate
+// and Scenario::try_build instead of tripping the constructor's asserts.
+struct SpecError {
+  enum class Code {
+    kNoFlows,       // empty flow list
+    kBadHorizon,    // horizon <= 0
+    kBadRate,       // a link/topology bandwidth <= 0
+    kBadLink,       // link or route endpoints outside the node set
+    kBadEndpoint,   // flow src/dst missing or outside the node set
+    kUnroutable,    // no path between a flow's endpoints (either direction)
+    kBadCbr,        // cross-traffic endpoints/rate/packet size invalid
+  };
+  Code code;
+  std::string detail;
+};
+
+const char* to_string(SpecError::Code c);
+
 struct ScenarioSpec {
   std::string name = "scenario";
   // Dumbbell-mode topology knobs (bandwidths, delays, side buffers,
@@ -136,6 +158,18 @@ struct ScenarioSpec {
   // sweep's derived per-job seed here.
   std::uint64_t seed = 1;
   sim::Time horizon = sim::Time::seconds(60);
+  // Test/fuzz hook: when set, builds flow i in place of app::make_flow —
+  // the scenario-level twin of ChaosRunConfig::flow_maker, letting
+  // campaigns drive intentionally broken senders through the standard
+  // build path (mutant self-tests of the fuzz oracles).
+  std::function<app::Flow(sim::Simulator&, net::Node& snd, net::Node& rcv,
+                          net::FlowId id, const FlowSpec& fs)>
+      flow_maker;
+  // False runs the simulation with the hierarchical timer-wheel tier
+  // disabled (heap-only scheduling, the pre-wheel engine shape). Traces
+  // must be byte-identical either way; the fuzzer's engine-equivalence
+  // oracle flips this and compares digests.
+  bool timer_wheel = true;
 
   ScenarioSpec& add_flow(FlowSpec f) {
     flows.push_back(std::move(f));
@@ -160,6 +194,20 @@ struct ScenarioSpec {
 class Scenario {
  public:
   explicit Scenario(ScenarioSpec spec);
+
+  // Structural validation of a spec WITHOUT building anything: empty flow
+  // set, non-positive rates, out-of-range link/flow/CBR endpoints,
+  // unroutable src/dst pairs (BFS over the GraphSpec, both directions —
+  // ACKs must get home too). Returns nullopt when the spec is buildable.
+  // The constructor still asserts on these as a backstop; generated specs
+  // go through here (or try_build) so a bad sample is a discard, not a
+  // crash.
+  static std::optional<SpecError> validate(const ScenarioSpec& spec);
+
+  // validate() + construct: nullptr (with *err filled when non-null) on a
+  // rejected spec, the built scenario otherwise.
+  static std::unique_ptr<Scenario> try_build(ScenarioSpec spec,
+                                             SpecError* err = nullptr);
 
   sim::Simulator& sim() { return sim_; }
   // Dumbbell mode only.

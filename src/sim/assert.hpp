@@ -15,8 +15,29 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace rrtcp {
+
+// Thrown instead of aborting while an AssertTrapScope is armed on the
+// current thread. `id()` is the stable failure identifier ("ASSERT" for
+// plain assertion failures, the invariant ID for audit failures); `detail()`
+// is the human-readable message. Derived from std::runtime_error so generic
+// catch sites (the sweep pool's per-job try block) still contain it.
+class TrappedAbort : public std::runtime_error {
+ public:
+  TrappedAbort(std::string id, std::string detail)
+      : std::runtime_error("rrtcp trapped abort [" + id + "]: " + detail),
+        id_{std::move(id)},
+        detail_{std::move(detail)} {}
+  const std::string& id() const { return id_; }
+  const std::string& detail() const { return detail_; }
+
+ private:
+  std::string id_;
+  std::string detail_;
+};
 
 // A context provider dumps human-readable state to `out`. `arg` is whatever
 // was registered alongside the function (typically the auditor itself).
@@ -25,7 +46,30 @@ using AssertContextFn = void (*)(void* arg, std::FILE* out);
 namespace detail {
 inline thread_local AssertContextFn assert_context_fn = nullptr;
 inline thread_local void* assert_context_arg = nullptr;
+inline thread_local bool assert_trap_armed = false;
 }  // namespace detail
+
+// While alive, assertion and audit failures on THIS thread throw
+// TrappedAbort instead of aborting the process. The scenario fuzzer's
+// oracle stack runs each generated case under one of these so a tripped
+// invariant becomes a machine-readable failure report (oracle kind +
+// stable ID) that can be bucketed, shrunk and replayed — not a dead
+// campaign. Scopes nest; the previous state is restored on destruction.
+// Everything outside a scope keeps the fail-fast abort behavior.
+class AssertTrapScope {
+ public:
+  AssertTrapScope() : prev_{detail::assert_trap_armed} {
+    detail::assert_trap_armed = true;
+  }
+  ~AssertTrapScope() { detail::assert_trap_armed = prev_; }
+  AssertTrapScope(const AssertTrapScope&) = delete;
+  AssertTrapScope& operator=(const AssertTrapScope&) = delete;
+
+  static bool armed() { return detail::assert_trap_armed; }
+
+ private:
+  bool prev_;
+};
 
 // Registers (or, with nullptr, clears) this thread's context provider.
 // Returns the previous provider so scoped users can restore it.
@@ -43,6 +87,18 @@ inline void dump_assert_context(std::FILE* out) {
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {
+  if (detail::assert_trap_armed) {
+    std::string detail{expr};
+    detail += " at ";
+    detail += file;
+    detail += ":";
+    detail += std::to_string(line);
+    if (msg != nullptr) {
+      detail += " — ";
+      detail += msg;
+    }
+    throw TrappedAbort{"ASSERT", std::move(detail)};
+  }
   std::fprintf(stderr, "rrtcp assertion failed: %s\n  at %s:%d\n  %s\n", expr,
                file, line, msg ? msg : "");
   dump_assert_context(stderr);
@@ -56,6 +112,8 @@ inline void dump_assert_context(std::FILE* out) {
 [[noreturn]] inline void audit_fail(const char* invariant_id,
                                     const char* detail, const char* file,
                                     int line) {
+  if (detail::assert_trap_armed)
+    throw TrappedAbort{invariant_id, detail != nullptr ? detail : ""};
   std::fprintf(stderr,
                "rrtcp protocol invariant violated: %s\n  at %s:%d\n  %s\n",
                invariant_id, file, line, detail ? detail : "");

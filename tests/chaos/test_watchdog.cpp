@@ -111,5 +111,56 @@ TEST(Watchdog, HealthyBackoffAtMinRtoFloorPassesAudit) {
   EXPECT_EQ(session.count(audit::InvariantId::kRtoArmed), 0u);
 }
 
+// ---- Stall ceiling (fuzz-facing knob): caps UNEXPLAINED silence only. ---
+
+TEST(Watchdog, StallCeilingFlagsUnexplainedSilence) {
+  // A dead-RTO sender goes quiet with nothing armed. RTO-relative stall
+  // detection would wait stall_rto_factor x rto; the ceiling caps the
+  // tolerated silence at an absolute bound because nothing explains it.
+  WatchdogConfig cfg;
+  cfg.stall_rto_factor = 1000;  // RTO-relative limit effectively infinite
+  cfg.stall_ceiling = Time::seconds(2);
+  SenderHarness<test::DeadRtoSender> h{cwnd(10)};
+  LivenessWatchdog wd{h.sim, cfg, LivenessWatchdog::FailMode::kRecord};
+  wd.attach(h.sender());
+  h.sender().start();
+  h.ack(1000);  // disarms the mutant's timer; silence starts here
+  h.sim.run_until(Time::seconds(6));
+  EXPECT_GE(wd.count(WatchdogReportId::kStall), 1u);
+}
+
+TEST(Watchdog, NoCeilingMeansRtoRelativeOnly) {
+  // Same journey without the ceiling: the huge stall_rto_factor means the
+  // stall detector stays quiet (silent death still fires — different ID).
+  WatchdogConfig cfg;
+  cfg.stall_rto_factor = 1000;
+  SenderHarness<test::DeadRtoSender> h{cwnd(10)};
+  LivenessWatchdog wd{h.sim, cfg, LivenessWatchdog::FailMode::kRecord};
+  wd.attach(h.sender());
+  h.sender().start();
+  h.ack(1000);
+  h.sim.run_until(Time::seconds(6));
+  EXPECT_EQ(wd.count(WatchdogReportId::kStall), 0u);
+  EXPECT_GE(wd.count(WatchdogReportId::kSilentDeath), 1u);
+}
+
+TEST(Watchdog, StallCeilingLeavesHealthyBackoffAlone) {
+  // Total ACK loss: the healthy sender's silences reach far past the 2 s
+  // ceiling, but every one is explained by a pending RTO expiry, so the
+  // ceiling must not apply and the run stays clean.
+  WatchdogConfig cfg;
+  cfg.check_interval = Time::milliseconds(333);  // avoid expiry-tick ties
+  cfg.stall_ceiling = Time::seconds(2);
+  SenderHarness<core::RrSender> h{cwnd(10)};
+  LivenessWatchdog wd{h.sim, cfg, LivenessWatchdog::FailMode::kRecord};
+  wd.attach(h.sender());
+  h.sender().start();
+  h.sim.run_until(Time::seconds(20));
+  // Two backed-off timeouts are enough: the silence between them already
+  // exceeds the ceiling while the pending RTO explains it.
+  EXPECT_GE(h.sender().stats().timeouts, 2u);
+  EXPECT_TRUE(wd.clean());
+}
+
 }  // namespace
 }  // namespace rrtcp::chaos

@@ -1,0 +1,208 @@
+// Replay codec: to_replay_text/parse_replay_text are exact inverses for
+// every field (including the FaultPlan and awkward doubles), the parser is
+// strict about garbage, and --replay operand classification separates
+// chaos seeds from repro paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "chaos/fault.hpp"
+#include "fuzz/replay.hpp"
+#include "fuzz/serialize.hpp"
+
+namespace rrtcp::fuzz {
+namespace {
+
+// Every field off its default, doubles chosen to need full precision.
+CaseSpec ornate_case() {
+  CaseSpec cs;
+  cs.seed = 0xdeadbeefcafeull;
+  cs.variant = app::Variant::kSack;
+  cs.mutant = "dead-rto";
+  cs.topo = TopoKind::kRandomMesh;
+  cs.hops = 4;
+  cs.extra_receivers = 3;
+  cs.mesh_routers = 6;
+  cs.mesh_chords = 2;
+  cs.bottleneck_bps = 1'234'567;
+  cs.bottleneck_delay = sim::Time::picoseconds(123'456'789'012'345);
+  cs.queue = QueueKind::kRed;
+  cs.queue_packets = 17;
+  cs.red_min_th = 0.1 + 0.2;  // 0.30000000000000004
+  cs.red_max_th = 19.7;
+  cs.red_max_p = 1.0 / 3.0;
+  cs.n_flows = 3;
+  cs.bytes_per_flow = 123'456;
+  cs.stagger = sim::Time::picoseconds(1);
+  cs.smooth_start = true;
+  cs.n_cbr = 2;
+  cs.cbr_load = 0.15;
+  cs.horizon = sim::Time::seconds(99);
+  cs.wd_check_interval = sim::Time::milliseconds(123);
+  cs.wd_stall_rto_factor = 7;
+  cs.wd_livelock_rtx = 11;
+  cs.wd_stall_ceiling = sim::Time::seconds(33);
+
+  chaos::FaultSpec f;
+  f.kind = chaos::FaultKind::kBurstLoss;
+  f.path = chaos::FaultPath::kAck;
+  f.start = sim::Time::seconds(2);
+  f.duration = sim::Time::milliseconds(750);
+  f.period = sim::Time::seconds(3);
+  f.probability = 0.1 + 0.7;
+  f.p_enter_bad = 0.017;
+  f.p_exit_bad = 0.3;
+  f.loss_in_bad = 0.99;
+  f.data_only = true;
+  cs.plan.faults.push_back(f);
+  f.kind = chaos::FaultKind::kDelaySpike;
+  f.extra_delay = sim::Time::picoseconds(999'999'999'999);
+  cs.plan.faults.push_back(f);
+  return cs;
+}
+
+TEST(ReplayCodec, RoundTripsEveryField) {
+  const CaseSpec original = ornate_case();
+  const std::string text =
+      to_replay_text(original, {"watchdog/WD_SILENT_DEATH/dead-rto"});
+
+  ReplayCase loaded;
+  std::string error;
+  ASSERT_TRUE(parse_replay_text(text, &loaded, &error)) << error;
+  // Re-serializing the parsed case must reproduce the text byte-for-byte:
+  // the strongest whole-struct equality available without operator==.
+  EXPECT_EQ(to_replay_text(loaded.spec, loaded.expect), text);
+  ASSERT_EQ(loaded.expect.size(), 1u);
+  EXPECT_EQ(loaded.expect[0], "watchdog/WD_SILENT_DEATH/dead-rto");
+  // Spot-check the hairy fields.
+  EXPECT_EQ(loaded.spec.seed, original.seed);
+  EXPECT_EQ(loaded.spec.red_min_th, original.red_min_th);
+  EXPECT_EQ(loaded.spec.bottleneck_delay.ps(), original.bottleneck_delay.ps());
+  ASSERT_TRUE(loaded.spec.wd_stall_ceiling.has_value());
+  EXPECT_EQ(loaded.spec.wd_stall_ceiling->ps(), sim::Time::seconds(33).ps());
+  ASSERT_EQ(loaded.spec.plan.faults.size(), 2u);
+  EXPECT_EQ(loaded.spec.plan.faults[0].probability,
+            original.plan.faults[0].probability);
+  EXPECT_EQ(loaded.spec.plan.faults[1].extra_delay.ps(),
+            original.plan.faults[1].extra_delay.ps());
+}
+
+TEST(ReplayCodec, DefaultCaseRoundTrips) {
+  const std::string text = to_replay_text(CaseSpec{});
+  ReplayCase loaded;
+  ASSERT_TRUE(parse_replay_text(text, &loaded));
+  EXPECT_EQ(to_replay_text(loaded.spec), text);
+  EXPECT_FALSE(loaded.spec.wd_stall_ceiling.has_value());
+  EXPECT_TRUE(loaded.expect.empty());
+}
+
+TEST(ReplayCodec, CommentsAndBlankLinesIgnored) {
+  std::string text = to_replay_text(CaseSpec{});
+  text.insert(0, "\n# a comment\n\n");
+  text += "\n# trailing comment\n";
+  ReplayCase loaded;
+  EXPECT_TRUE(parse_replay_text(text, &loaded));
+}
+
+TEST(ReplayCodec, RejectsMissingFormatLine) {
+  std::string text = to_replay_text(CaseSpec{});
+  text = text.substr(text.find('\n') + 1);  // drop the format line
+  ReplayCase loaded;
+  std::string error;
+  EXPECT_FALSE(parse_replay_text(text, &loaded, &error));
+  EXPECT_NE(error.find("format"), std::string::npos) << error;
+}
+
+TEST(ReplayCodec, RejectsUnknownKey) {
+  std::string text = to_replay_text(CaseSpec{});
+  text += "no_such_key = 1\n";
+  ReplayCase loaded;
+  std::string error;
+  EXPECT_FALSE(parse_replay_text(text, &loaded, &error));
+  EXPECT_NE(error.find("no_such_key"), std::string::npos) << error;
+}
+
+TEST(ReplayCodec, RejectsMalformedValue) {
+  std::string text = to_replay_text(CaseSpec{});
+  text += "n_flows = banana\n";
+  ReplayCase loaded;
+  EXPECT_FALSE(parse_replay_text(text, &loaded));
+}
+
+TEST(ReplayCodec, RejectsUnknownMutantAtLoadTime) {
+  CaseSpec cs;
+  cs.mutant = "dead-rto";
+  std::string text = to_replay_text(cs);
+  const std::size_t at = text.find("dead-rto");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 8, "not-real");
+  ReplayCase loaded;
+  std::string error;
+  EXPECT_FALSE(parse_replay_text(text, &loaded, &error));
+  EXPECT_NE(error.find("not-real"), std::string::npos) << error;
+}
+
+TEST(ReplayCodec, RejectsBadFaultLine) {
+  std::string text = to_replay_text(CaseSpec{});
+  text += "fault = kind=outage path=data start_ps=oops\n";
+  ReplayCase loaded;
+  EXPECT_FALSE(parse_replay_text(text, &loaded));
+}
+
+TEST(ReplayCodec, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "rrtcp_replay_rt.repro";
+  const CaseSpec original = ornate_case();
+  ASSERT_TRUE(write_replay_file(path, original, {"a/b/c"}));
+  ReplayCase loaded;
+  std::string error;
+  ASSERT_TRUE(load_replay_file(path, &loaded, &error)) << error;
+  EXPECT_EQ(to_replay_text(loaded.spec, loaded.expect),
+            to_replay_text(original, {"a/b/c"}));
+  std::remove(path.c_str());
+}
+
+TEST(ReplayCodec, LoadReportsMissingFile) {
+  ReplayCase loaded;
+  std::string error;
+  EXPECT_FALSE(load_replay_file("/nonexistent/x.repro", &loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FaultCodec, EveryKindRoundTripsThroughText) {
+  for (int k = 0; k < static_cast<int>(chaos::FaultKind::kCount); ++k) {
+    chaos::FaultSpec f;
+    f.kind = static_cast<chaos::FaultKind>(k);
+    f.path = chaos::FaultPath::kAck;
+    f.start = sim::Time::milliseconds(1'234);
+    f.duration = sim::Time::milliseconds(567);
+    f.period = sim::Time::seconds(4);
+    f.probability = 0.123456789012345678;
+    f.extra_delay = sim::Time::picoseconds(31);
+    f.p_enter_bad = 1e-9;
+    f.p_exit_bad = 0.25;
+    f.loss_in_bad = 0.875;
+    f.data_only = true;
+    chaos::FaultSpec parsed;
+    ASSERT_TRUE(chaos::FaultSpec::from_text(f.to_text(), &parsed))
+        << f.to_text();
+    EXPECT_EQ(parsed.to_text(), f.to_text());
+  }
+}
+
+TEST(ReplayArgClassify, IntegersAreSeedsPathsArePaths) {
+  ReplayArg a = classify_replay_arg("291");
+  EXPECT_TRUE(a.is_seed);
+  EXPECT_EQ(a.seed, 291u);
+  a = classify_replay_arg("0x1a3");
+  EXPECT_TRUE(a.is_seed);
+  EXPECT_EQ(a.seed, 0x1a3u);
+  a = classify_replay_arg("corpus/audit-x.repro");
+  EXPECT_FALSE(a.is_seed);
+  EXPECT_EQ(a.path, "corpus/audit-x.repro");
+  EXPECT_FALSE(classify_replay_arg("12x").is_seed);
+  EXPECT_FALSE(classify_replay_arg("").is_seed);
+}
+
+}  // namespace
+}  // namespace rrtcp::fuzz

@@ -1,0 +1,156 @@
+// Fuzz soak: seeded scenario-fuzzing campaigns with the full oracle stack
+// (audit invariants, liveness watchdog, dead-flow check, double-run
+// determinism, timer-wheel/heap engine equivalence), delta-debugging
+// shrinking of every new failure bucket, and replayable repro emission.
+//
+// Usage:
+//   fuzz_soak [--cases=N] [--seed=S] [--threads=N] [--csv=PATH]
+//             [--json=PATH] [--corpus-out=DIR] [--mutant=NAME]
+//             [--mutant-every=K] [--no-shrink] [--no-determinism]
+//             [--no-equivalence] [--budget-s=T] [--quick]
+//   fuzz_soak --replay=PATH        # re-run a repro file, grade `expect`
+//   fuzz_soak --replay=0xSEED      # re-run a chaos-soak schedule seed
+//   fuzz_soak --list-mutants
+//
+// Exit code: with no --mutant, 0 iff the campaign found nothing (the
+// steady-state expectation); with --mutant, 0 iff the injected bug was
+// caught in at least one bucket naming that mutant (the teeth test).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/mutants.hpp"
+#include "fuzz/replay.hpp"
+#include "harness/result_sink.hpp"
+
+namespace {
+
+using namespace rrtcp;  // NOLINT(google-build-using-namespace)
+
+[[noreturn]] void usage(const char* bad) {
+  std::fprintf(
+      stderr,
+      "unknown argument: %s\n"
+      "usage: fuzz_soak [--cases=N] [--seed=S] [--threads=N] [--csv=PATH]\n"
+      "                 [--json=PATH] [--corpus-out=DIR] [--mutant=NAME]\n"
+      "                 [--mutant-every=K] [--no-shrink] [--no-determinism]\n"
+      "                 [--no-equivalence] [--budget-s=T] [--quick]\n"
+      "                 [--replay=PATH|0xSEED] [--list-mutants]\n",
+      bad);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::CampaignOptions opts;
+  std::string csv_path;
+  std::string json_path;
+  std::string corpus_out;
+  std::string replay_arg;
+  bool quick = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    char* end = nullptr;
+    if (const char* v = value_of("--cases=")) {
+      opts.n_cases = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || opts.n_cases < 1) usage(argv[i]);
+    } else if (const char* v = value_of("--seed=")) {
+      opts.seed = std::strtoull(v, &end, 0);
+      if (end == v || *end != '\0') usage(argv[i]);
+    } else if (const char* v = value_of("--threads=")) {
+      opts.threads = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0') usage(argv[i]);
+    } else if (const char* v = value_of("--csv=")) {
+      csv_path = v;
+    } else if (const char* v = value_of("--json=")) {
+      json_path = v;
+    } else if (const char* v = value_of("--corpus-out=")) {
+      corpus_out = v;
+    } else if (const char* v = value_of("--mutant=")) {
+      if (!fuzz::is_mutant(v)) {
+        std::fprintf(stderr, "unknown mutant '%s' (try --list-mutants)\n", v);
+        return 2;
+      }
+      opts.mutant = v;
+    } else if (const char* v = value_of("--mutant-every=")) {
+      opts.mutant_every = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || opts.mutant_every < 1) usage(argv[i]);
+    } else if (arg == "--no-shrink") {
+      opts.shrink = false;
+    } else if (arg == "--no-determinism") {
+      opts.run.check_determinism = false;
+    } else if (arg == "--no-equivalence") {
+      opts.run.check_equivalence = false;
+    } else if (const char* v = value_of("--budget-s=")) {
+      opts.budget_seconds = std::strtod(v, &end);
+      if (end == v || *end != '\0' || opts.budget_seconds <= 0.0)
+        usage(argv[i]);
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (const char* v = value_of("--replay=")) {
+      replay_arg = v;
+    } else if (arg == "--list-mutants") {
+      for (const std::string_view name : fuzz::mutant_names())
+        std::printf("%.*s\n", static_cast<int>(name.size()), name.data());
+      return 0;
+    } else {
+      usage(argv[i]);
+    }
+  }
+
+  if (!replay_arg.empty()) return fuzz::replay_main(replay_arg);
+  if (quick) opts.n_cases = std::min<std::uint64_t>(opts.n_cases, 25);
+
+  const fuzz::CampaignResult result = fuzz::run_campaign(opts);
+
+  if (!csv_path.empty())
+    harness::write_file(csv_path, result.sink->to_csv());
+  if (!json_path.empty())
+    harness::write_file(json_path,
+                        result.sink->to_json("fuzz_soak", opts.seed));
+
+  std::printf(
+      "fuzz soak: %llu case(s) run, %llu skipped (budget), %llu failing, "
+      "%zu bucket(s), %.1fs wall on %d thread(s)\n",
+      static_cast<unsigned long long>(result.cases_run),
+      static_cast<unsigned long long>(result.cases_skipped),
+      static_cast<unsigned long long>(result.cases_failed),
+      result.triage.n_buckets(), result.timing.wall_seconds,
+      result.timing.threads);
+  if (!result.triage.empty()) {
+    std::printf("%s", result.triage.report().c_str());
+    if (!corpus_out.empty()) {
+      const int written = result.triage.write_corpus(corpus_out);
+      if (written < 0) {
+        std::fprintf(stderr, "failed writing corpus to %s\n",
+                     corpus_out.c_str());
+        return 2;
+      }
+      std::printf("wrote %d repro file(s) to %s (replay: fuzz_soak "
+                  "--replay=%s/<bucket>.repro)\n",
+                  written, corpus_out.c_str(), corpus_out.c_str());
+    }
+  }
+
+  if (!opts.mutant.empty()) {
+    // Teeth test: the injected bug must surface in a bucket naming it.
+    bool caught = false;
+    for (const auto& [key, t] : result.triage.buckets())
+      caught |= key.size() >= opts.mutant.size() &&
+                key.compare(key.size() - opts.mutant.size(),
+                            opts.mutant.size(), opts.mutant) == 0;
+    std::printf("mutant '%s': %s\n", opts.mutant.c_str(),
+                caught ? "CAUGHT" : "MISSED");
+    return caught ? 0 : 1;
+  }
+  return result.triage.empty() ? 0 : 1;
+}
