@@ -1,20 +1,41 @@
 #include "app/flow_factory.hpp"
 
 #include "app/sender_factory.hpp"
+#include "env/sim_env.hpp"
 
 namespace rrtcp::app {
 
-Flow make_flow(Variant v, sim::Simulator& sim, net::Node& snd_node,
-               net::Node& rcv_node, net::FlowId flow, tcp::TcpConfig cfg) {
-  const SenderFactory& registry = SenderFactory::instance();
-  Flow f;
-  f.sender = registry.make(v, sim, snd_node, flow, rcv_node.id(), cfg);
+namespace {
+
+tcp::ReceiverConfig receiver_config(Variant v, const tcp::TcpConfig& cfg) {
   tcp::ReceiverConfig rcfg;
   rcfg.ack_bytes = cfg.ack_bytes;
-  rcfg.sack_enabled = registry.at(v).sack_receiver;
+  rcfg.sack_enabled = SenderFactory::instance().at(v).sack_receiver;
   rcfg.ecn_enabled = cfg.ecn_enabled;
-  f.receiver = std::make_unique<tcp::TcpReceiver>(sim, rcv_node, flow,
-                                                  snd_node.id(), rcfg);
+  return rcfg;
+}
+
+}  // namespace
+
+Flow make_flow(Variant v, sim::Simulator& sim, net::Node& snd_node,
+               net::Node& rcv_node, net::FlowId flow, tcp::TcpConfig cfg) {
+  Flow f;
+  f.snd_env =
+      std::make_unique<env::SimEnvironment>(sim, snd_node, rcv_node.id());
+  f.rcv_env =
+      std::make_unique<env::SimEnvironment>(sim, rcv_node, snd_node.id());
+  f.sender = SenderFactory::instance().make(v, *f.snd_env, flow, cfg);
+  f.receiver = std::make_unique<tcp::TcpReceiver>(*f.rcv_env, flow,
+                                                  receiver_config(v, cfg));
+  return f;
+}
+
+Flow make_flow(Variant v, env::Environment& snd_env, env::Environment& rcv_env,
+               net::FlowId flow, tcp::TcpConfig cfg) {
+  Flow f;
+  f.sender = SenderFactory::instance().make(v, snd_env, flow, cfg);
+  f.receiver = std::make_unique<tcp::TcpReceiver>(rcv_env, flow,
+                                                  receiver_config(v, cfg));
   return f;
 }
 

@@ -18,12 +18,10 @@ namespace rrtcp::app {
 namespace {
 
 template <typename Sender>
-std::unique_ptr<tcp::TcpSenderBase> make_sender(sim::Simulator& sim,
-                                                net::Node& snd_node,
+std::unique_ptr<tcp::TcpSenderBase> make_sender(env::Environment& env,
                                                 net::FlowId flow,
-                                                net::NodeId dst,
                                                 const tcp::TcpConfig& cfg) {
-  return std::make_unique<Sender>(sim, snd_node, flow, dst, cfg);
+  return std::make_unique<Sender>(env, flow, cfg);
 }
 
 }  // namespace
@@ -56,9 +54,9 @@ const SenderFactory::Entry& SenderFactory::at(Variant v) const {
 }
 
 std::unique_ptr<tcp::TcpSenderBase> SenderFactory::make(
-    Variant v, sim::Simulator& sim, net::Node& snd_node, net::FlowId flow,
-    net::NodeId dst, const tcp::TcpConfig& cfg) const {
-  return at(v).make(sim, snd_node, flow, dst, cfg);
+    Variant v, env::Environment& env, net::FlowId flow,
+    const tcp::TcpConfig& cfg) const {
+  return at(v).make(env, flow, cfg);
 }
 
 void SenderFactory::print_registry(std::FILE* out) const {

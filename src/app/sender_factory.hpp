@@ -3,9 +3,13 @@
 // One table maps a Variant to everything construction needs to know about
 // it: its canonical name, a maker for the sender object, and whether its
 // receiver must generate SACK blocks. make_flow(), the benches, the sweep
-// harness, and the chaos soak all construct senders through
-// SenderFactory::make(), so adding a variant means adding ONE registry
-// entry — not editing a switch in every driver.
+// harness, the chaos soak and the live UDP tool all construct senders
+// through SenderFactory::make(), so adding a variant means adding ONE
+// registry entry — not editing a switch in every driver.
+//
+// Makers are environment-based: they take the env::Environment the sender
+// will live in, which is what lets one registry serve both the simulator
+// (env::SimEnvironment) and the live UDP transport (live::LiveEnvironment).
 #pragma once
 
 #include <cstdio>
@@ -13,8 +17,7 @@
 #include <string_view>
 
 #include "app/variant.hpp"
-#include "net/node.hpp"
-#include "sim/simulator.hpp"
+#include "env/environment.hpp"
 #include "tcp/sender_base.hpp"
 
 namespace rrtcp::app {
@@ -22,8 +25,7 @@ namespace rrtcp::app {
 class SenderFactory {
  public:
   using Maker = std::unique_ptr<tcp::TcpSenderBase> (*)(
-      sim::Simulator& sim, net::Node& snd_node, net::FlowId flow,
-      net::NodeId dst, const tcp::TcpConfig& cfg);
+      env::Environment& env, net::FlowId flow, const tcp::TcpConfig& cfg);
 
   struct Entry {
     const char* name = nullptr;  // canonical lowercase CLI/CSV name
@@ -41,10 +43,9 @@ class SenderFactory {
   // Registry lookup; never fails for a valid Variant enumerator.
   const Entry& at(Variant v) const;
 
-  // Constructs a sender of variant `v` on `snd_node`, addressed to `dst`.
-  std::unique_ptr<tcp::TcpSenderBase> make(Variant v, sim::Simulator& sim,
-                                           net::Node& snd_node,
-                                           net::FlowId flow, net::NodeId dst,
+  // Constructs a sender of variant `v` living in `env`.
+  std::unique_ptr<tcp::TcpSenderBase> make(Variant v, env::Environment& env,
+                                           net::FlowId flow,
                                            const tcp::TcpConfig& cfg) const;
 
   const char* name_of(Variant v) const { return at(v).name; }

@@ -146,7 +146,7 @@ void RrSender::on_partial_ack_in_retreat() {
   retransmit(snd_una());
   state_ = State::kProbe;
   set_phase(TcpPhase::kProbe);
-  RRTCP_DEBUG(sim_.now(), variant_name(),
+  RRTCP_ENV_DEBUG(env_, variant_name(),
               "retreat -> probe, actnum=%ld recover=%llu", actnum_,
               static_cast<unsigned long long>(recover_));
 }
@@ -177,7 +177,7 @@ void RrSender::on_further_loss() {
   // same recovery episode (recover := snd.nxt at detection time).
   ++further_loss_events_;
   further_rtx_budget_ += actnum_ - ndup_;
-  RRTCP_DEBUG(sim_.now(), variant_name(),
+  RRTCP_ENV_DEBUG(env_, variant_name(),
               "further loss: ndup=%ld < actnum=%ld, recover %llu -> %llu",
               ndup_, actnum_, static_cast<unsigned long long>(recover_),
               static_cast<unsigned long long>(max_sent()));
@@ -226,7 +226,7 @@ void RrSender::exit_recovery() {
   sent_in_retreat_ = 0;
   further_rtx_budget_ = 0;
   update_open_phase();
-  RRTCP_DEBUG(sim_.now(), variant_name(), "exit recovery, cwnd=%.1f pkts",
+  RRTCP_ENV_DEBUG(env_, variant_name(), "exit recovery, cwnd=%.1f pkts",
               cwnd_packets());
   send_new_data();
 }

@@ -1,0 +1,42 @@
+#include "env/sim_env.hpp"
+
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace rrtcp::env {
+
+Environment::TimerId SimEnvironment::timer_create(
+    std::function<void()> on_fire) {
+  if (!free_.empty()) {
+    const TimerId id = free_.back();
+    free_.pop_back();
+    timers_[id] = std::make_unique<sim::Timer>(sim_, std::move(on_fire));
+    return id;
+  }
+  timers_.push_back(std::make_unique<sim::Timer>(sim_, std::move(on_fire)));
+  return static_cast<TimerId>(timers_.size() - 1);
+}
+
+void SimEnvironment::timer_destroy(TimerId id) {
+  RRTCP_ASSERT(id < timers_.size() && timers_[id] != nullptr);
+  timers_[id].reset();  // sim::Timer's destructor cancels any pending fire
+  free_.push_back(id);
+}
+
+void SimEnvironment::timer_arm(TimerId id, sim::Time delay) {
+  RRTCP_DASSERT(id < timers_.size() && timers_[id] != nullptr);
+  timers_[id]->schedule(delay);
+}
+
+void SimEnvironment::timer_cancel(TimerId id) {
+  RRTCP_DASSERT(id < timers_.size() && timers_[id] != nullptr);
+  timers_[id]->cancel();
+}
+
+bool SimEnvironment::timer_pending(TimerId id) const {
+  RRTCP_DASSERT(id < timers_.size() && timers_[id] != nullptr);
+  return timers_[id]->pending();
+}
+
+}  // namespace rrtcp::env

@@ -1,0 +1,63 @@
+// The simulator embodiment of env::Environment.
+//
+// One SimEnvironment wraps one endpoint's view of a simulation: the shared
+// sim::Simulator clock/event queue, the net::Node the endpoint lives on,
+// and the NodeId of its peer. Every operation is a thin forward — attach is
+// a flat-table insert, send is a synchronous Node::inject, timers are
+// pooled sim::Timer slots — so introducing this seam adds no scheduler
+// events and reorders nothing: traces are byte-identical to the
+// pre-Environment code (tests/regression pins that).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "env/environment.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace rrtcp::env {
+
+class SimEnvironment final : public Environment {
+ public:
+  SimEnvironment(sim::Simulator& sim, net::Node& node, net::NodeId peer)
+      : sim_{sim}, node_{node}, peer_{peer} {}
+
+  sim::Time now() const override { return sim_.now(); }
+
+  net::NodeId local_id() const override { return node_.id(); }
+  net::NodeId peer_id() const override { return peer_; }
+
+  void attach(net::FlowId flow, net::Agent* agent) override {
+    node_.attach_agent(flow, agent);
+  }
+  void detach(net::FlowId flow) override { node_.detach_agent(flow); }
+  void send(net::Packet p) override { node_.inject(std::move(p)); }
+
+  TimerId timer_create(std::function<void()> on_fire) override;
+  void timer_destroy(TimerId id) override;
+  void timer_arm(TimerId id, sim::Time delay) override;
+  void timer_cancel(TimerId id) override;
+  bool timer_pending(TimerId id) const override;
+
+  // Escape hatches for harness/instrumentation code that genuinely lives
+  // in the simulator (NOT for transport algorithms — those see only the
+  // Environment base).
+  sim::Simulator& simulator() { return sim_; }
+  net::Node& node() { return node_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::Node& node_;
+  net::NodeId peer_;
+
+  // Timer slots. unique_ptr, not value storage: sim::Timer pins its `this`
+  // inside the scheduled event's capture, so slots must be address-stable
+  // across vector growth. Destroyed slots go on the free list; an endpoint
+  // owns O(1) timers, so this never grows past a handful.
+  std::vector<std::unique_ptr<sim::Timer>> timers_;
+  std::vector<TimerId> free_;
+};
+
+}  // namespace rrtcp::env

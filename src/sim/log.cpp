@@ -19,12 +19,17 @@ LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 
 void Log::write(LogLevel level, Time now, const char* component,
                 const char* fmt, ...) {
-  if (!enabled(level)) return;
-  std::fprintf(stderr, "%12.6f [%-12s] ", now.to_seconds(), component);
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  vwrite(level, now, component, fmt, args);
   va_end(args);
+}
+
+void Log::vwrite(LogLevel level, Time now, const char* component,
+                 const char* fmt, std::va_list args) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "%12.6f [%-12s] ", now.to_seconds(), component);
+  std::vfprintf(stderr, fmt, args);
   std::fputc('\n', stderr);
 }
 

@@ -25,6 +25,10 @@ class Log {
   // Emit one line: "<time> [component] message".
   static void write(LogLevel level, Time now, const char* component,
                     const char* fmt, ...) __attribute__((format(printf, 4, 5)));
+  // va_list flavor, for sinks that forward their own variadic surface
+  // (env::Environment::vtrace). Identical output to write().
+  static void vwrite(LogLevel level, Time now, const char* component,
+                     const char* fmt, std::va_list args);
 };
 
 }  // namespace rrtcp::sim

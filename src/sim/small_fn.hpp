@@ -106,4 +106,71 @@ class SmallFn {
   alignas(std::max_align_t) unsigned char buf_[InlineBytes];
 };
 
+// SmallFn's repeat-invocable sibling: a stored callback with arguments that
+// may fire any number of times (completion/notify hooks), still inline-only
+// and non-copyable. Unlike SmallFn there is NO heap fallback — emplace()
+// static_asserts the capture fits, so a SmallCallable member is
+// allocation-free by construction, not by convention.
+template <typename Sig, std::size_t InlineBytes>
+class SmallCallable;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class SmallCallable<R(Args...), InlineBytes> {
+ public:
+  SmallCallable() = default;
+  SmallCallable(const SmallCallable&) = delete;
+  SmallCallable& operator=(const SmallCallable&) = delete;
+  ~SmallCallable() { reset(); }
+
+  // True when a decayed `F` stores in the inline buffer.
+  template <typename F>
+  static constexpr bool fits_inline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= InlineBytes && alignof(D) <= alignof(std::max_align_t);
+  }
+
+  // Installs a new callable, destroying any previous one. Oversized
+  // captures are a compile error — widen InlineBytes at the member, don't
+  // silently allocate.
+  template <typename F>
+  void emplace(F&& fn) {
+    using D = std::decay_t<F>;
+    static_assert(fits_inline<F>(),
+                  "capture exceeds SmallCallable's inline buffer");
+    reset();
+    ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+    invoke_ = [](SmallCallable* self, Args... args) -> R {
+      return (*self->inline_target<D>())(std::forward<Args>(args)...);
+    };
+    destroy_ = [](SmallCallable* self) { self->inline_target<D>()->~D(); };
+  }
+
+  void reset() {
+    if (destroy_ != nullptr) {
+      destroy_(this);
+      destroy_ = nullptr;
+      invoke_ = nullptr;
+    }
+  }
+
+  // Invoke the stored callable; it stays installed (unlike SmallFn's
+  // consume()). The callable may reset() or re-emplace() this object only
+  // after returning.
+  R operator()(Args... args) {
+    return invoke_(this, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  template <typename D>
+  D* inline_target() {
+    return std::launder(reinterpret_cast<D*>(buf_));
+  }
+
+  R (*invoke_)(SmallCallable*, Args...) = nullptr;
+  void (*destroy_)(SmallCallable*) = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[InlineBytes];
+};
+
 }  // namespace rrtcp::sim

@@ -2,21 +2,20 @@
 
 #include <algorithm>
 
+#include "env/sim_env.hpp"
 #include "sim/assert.hpp"
 #include "sim/log.hpp"
 
 namespace rrtcp::tcp {
 
-TcpReceiver::TcpReceiver(sim::Simulator& sim, net::Node& node,
-                         net::FlowId flow, net::NodeId peer,
+TcpReceiver::TcpReceiver(env::Environment& env, net::FlowId flow,
                          ReceiverConfig cfg)
-    : sim_{sim},
-      node_{node},
+    : env_{env},
       flow_{flow},
-      self_{node.id()},
-      peer_{peer},
+      self_{env.local_id()},
+      peer_{env.peer_id()},
       cfg_{cfg},
-      delack_timer_{sim, [this] {
+      delack_timer_{env, [this] {
                       if (ack_pending_) send_ack(false);
                     }} {
   // Pre-size the reassembly state so steady-state loss handling never
@@ -24,10 +23,22 @@ TcpReceiver::TcpReceiver(sim::Simulator& sim, net::Node& node,
   // recency list is hard-capped at 8 (9 = cap + 1 transient slot).
   ooo_.reserve(64);
   recent_blocks_.reserve(9);
-  node_.attach_agent(flow_, this);
+  env_.attach(flow_, this);
 }
 
-TcpReceiver::~TcpReceiver() { node_.detach_agent(flow_); }
+TcpReceiver::TcpReceiver(std::unique_ptr<env::Environment> owned,
+                         net::FlowId flow, ReceiverConfig cfg)
+    : TcpReceiver(*owned, flow, cfg) {
+  owned_env_ = std::move(owned);
+}
+
+TcpReceiver::TcpReceiver(sim::Simulator& sim, net::Node& node,
+                         net::FlowId flow, net::NodeId peer,
+                         ReceiverConfig cfg)
+    : TcpReceiver(std::make_unique<env::SimEnvironment>(sim, node, peer),
+                  flow, cfg) {}
+
+TcpReceiver::~TcpReceiver() { env_.detach(flow_); }
 
 void TcpReceiver::receive(net::Packet p) {
   RRTCP_ASSERT_MSG(p.is_data(), "receiver got a non-data packet");
@@ -38,7 +49,7 @@ void TcpReceiver::receive(net::Packet p) {
       const std::uint64_t u = self->unique_bytes();
       if (u > self->last_unique_) {
         self->last_unique_ = u;
-        if (self->progress_fn_) self->progress_fn_(self->sim_.now(), u);
+        if (self->progress_fn_) self->progress_fn_(self->env_.now(), u);
       }
     }
   } guard{this};
@@ -190,10 +201,10 @@ void TcpReceiver::send_ack(bool duplicate) {
   if (cfg_.sack_enabled) fill_sack_blocks(ack.tcp);
   ++stats_.acks_sent;
   if (duplicate) ++stats_.dupacks_sent;
-  RRTCP_TRACE(sim_.now(), "tcp-rcv", "flow=%u ack=%llu dup=%d nsack=%d",
-              flow_, static_cast<unsigned long long>(rcv_nxt_), duplicate,
-              ack.tcp.n_sack);
-  node_.inject(std::move(ack));
+  RRTCP_ENV_TRACE(env_, "tcp-rcv", "flow=%u ack=%llu dup=%d nsack=%d",
+                  flow_, static_cast<unsigned long long>(rcv_nxt_), duplicate,
+                  ack.tcp.n_sack);
+  env_.send(std::move(ack));
 }
 
 std::uint64_t TcpReceiver::buffered_out_of_order() const {
@@ -213,7 +224,7 @@ void TcpReceiver::check_notify() {
   if (notify_fn_ && rcv_nxt_ >= notify_bytes_) {
     auto fn = std::move(notify_fn_);
     notify_fn_ = nullptr;
-    fn(sim_.now());
+    fn(env_.now());
   }
 }
 

@@ -6,18 +6,26 @@
 // ACKs for out-of-order segments, out-of-order reassembly, and — for the
 // SACK baseline — RFC 2018 SACK block generation with the most recently
 // received block listed first.
+//
+// Like TcpSenderBase, the receiver sees the world only through
+// env::Environment; the (Simulator&, Node&) constructor is a convenience
+// that owns a SimEnvironment internally.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "env/environment.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
-#include "sim/simulator.hpp"
-#include "sim/timer.hpp"
 #include "tcp/types.hpp"
+
+namespace rrtcp::sim {
+class Simulator;
+}
 
 namespace rrtcp::tcp {
 
@@ -44,6 +52,11 @@ struct ReceiverStats {
 
 class TcpReceiver final : public net::Agent {
  public:
+  // Primary: environment-agnostic. `env` must outlive the receiver.
+  TcpReceiver(env::Environment& env, net::FlowId flow,
+              ReceiverConfig cfg = {});
+  // Simulator convenience: owns an env::SimEnvironment over (sim, node)
+  // peered with `peer`.
   TcpReceiver(sim::Simulator& sim, net::Node& node, net::FlowId flow,
               net::NodeId peer, ReceiverConfig cfg = {});
   ~TcpReceiver() override;
@@ -85,6 +98,10 @@ class TcpReceiver final : public net::Agent {
     std::uint64_t end;
   };
 
+  // Delegation target of the simulator-convenience constructor.
+  TcpReceiver(std::unique_ptr<env::Environment> owned, net::FlowId flow,
+              ReceiverConfig cfg);
+
   RRTCP_HOT void deliver_in_order(std::uint64_t seq, std::uint32_t len);
   RRTCP_HOT void store_out_of_order(std::uint64_t seq, std::uint32_t len);
   RRTCP_HOT void send_ack(bool duplicate);
@@ -94,8 +111,10 @@ class TcpReceiver final : public net::Agent {
   const OooInterval* find_ooo(std::uint64_t begin) const;
   void check_notify();
 
-  sim::Simulator& sim_;
-  net::Node& node_;
+  // Declared first so the owned environment (simulator-convenience
+  // constructor) is destroyed after the env::Timer below.
+  std::unique_ptr<env::Environment> owned_env_;
+  env::Environment& env_;
   net::FlowId flow_;
   net::NodeId self_;
   net::NodeId peer_;
@@ -116,7 +135,7 @@ class TcpReceiver final : public net::Agent {
   std::vector<std::uint64_t> recent_blocks_;
 
   // Delayed-ACK state.
-  sim::Timer delack_timer_;
+  env::Timer delack_timer_;
   bool ack_pending_ = false;
 
   // ECN state: true between receiving a CE mark and seeing the sender's

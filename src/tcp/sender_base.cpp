@@ -2,30 +2,41 @@
 
 #include <algorithm>
 
+#include "env/sim_env.hpp"
 #include "sim/assert.hpp"
 #include "sim/log.hpp"
 
 namespace rrtcp::tcp {
 
-TcpSenderBase::TcpSenderBase(sim::Simulator& sim, net::Node& node,
-                             net::FlowId flow, net::NodeId dst, TcpConfig cfg)
-    : sim_{sim},
+TcpSenderBase::TcpSenderBase(env::Environment& env, net::FlowId flow,
+                             TcpConfig cfg)
+    : env_{env},
       cfg_{cfg},
-      node_{node},
       flow_{flow},
-      self_{node.id()},
-      dst_{dst},
+      self_{env.local_id()},
+      dst_{env.peer_id()},
       rto_{cfg},
-      rto_timer_{sim, [this] { on_retransmission_timeout(); }} {
+      rto_timer_{env, [this] { on_retransmission_timeout(); }} {
   RRTCP_ASSERT(cfg_.mss > 0);
   RRTCP_ASSERT(cfg_.init_cwnd_pkts >= 1);
   RRTCP_ASSERT(cfg_.dupack_threshold >= 1);
   cwnd_ = cfg_.init_cwnd_pkts * cfg_.mss;
   ssthresh_ = cfg_.init_ssthresh_pkts * cfg_.mss;
-  node_.attach_agent(flow_, this);
+  env_.attach(flow_, this);
 }
 
-TcpSenderBase::~TcpSenderBase() { node_.detach_agent(flow_); }
+TcpSenderBase::TcpSenderBase(std::unique_ptr<env::Environment> owned,
+                             net::FlowId flow, TcpConfig cfg)
+    : TcpSenderBase(*owned, flow, cfg) {
+  owned_env_ = std::move(owned);
+}
+
+TcpSenderBase::TcpSenderBase(sim::Simulator& sim, net::Node& node,
+                             net::FlowId flow, net::NodeId dst, TcpConfig cfg)
+    : TcpSenderBase(std::make_unique<env::SimEnvironment>(sim, node, dst),
+                    flow, cfg) {}
+
+TcpSenderBase::~TcpSenderBase() { env_.detach(flow_); }
 
 void TcpSenderBase::app_enqueue(std::uint64_t bytes) {
   RRTCP_ASSERT_MSG(app_total_.has_value(),
@@ -40,7 +51,7 @@ void TcpSenderBase::app_enqueue(std::uint64_t bytes) {
 void TcpSenderBase::start() {
   RRTCP_ASSERT_MSG(!started_, "sender started twice");
   started_ = true;
-  start_time_ = sim_.now();
+  start_time_ = env_.now();
   update_open_phase();
   send_new_data();
 }
@@ -83,7 +94,7 @@ void TcpSenderBase::transmit(std::uint64_t seq, std::uint32_t len,
     p.tcp.cwr = true;
     cwr_pending_ = false;
   }
-  p.sent_at = sim_.now();
+  p.sent_at = env_.now();
 
   if (is_rtx) {
     ++stats_.retransmissions;
@@ -95,16 +106,16 @@ void TcpSenderBase::transmit(std::uint64_t seq, std::uint32_t len,
     if (!timing_) {
       timing_ = true;
       timed_seq_ = seq;
-      timed_at_ = sim_.now();
+      timed_at_ = env_.now();
     }
   }
 
   if (!rto_timer_.pending()) restart_rto_timer();
 
-  RRTCP_TRACE(sim_.now(), variant_name(), "flow=%u send seq=%llu len=%u rtx=%d",
-              flow_, static_cast<unsigned long long>(seq), len, is_rtx);
+  RRTCP_ENV_TRACE(env_, variant_name(), "flow=%u send seq=%llu len=%u rtx=%d",
+                  flow_, static_cast<unsigned long long>(seq), len, is_rtx);
   notify_send(seq, len, is_rtx);
-  node_.inject(std::move(p));
+  env_.send(std::move(p));
 }
 
 bool TcpSenderBase::send_one_new_segment(bool ignore_rwnd) {
@@ -161,15 +172,15 @@ void TcpSenderBase::halve_ssthresh() {
 
 void TcpSenderBase::set_cwnd(std::uint64_t bytes) {
   cwnd_ = std::max<std::uint64_t>(bytes, cfg_.mss);
-  for (auto* o : observers_) o->on_cwnd(sim_.now(), cwnd_packets());
+  for (auto* o : observers_) o->on_cwnd(env_.now(), cwnd_packets());
 }
 
 void TcpSenderBase::set_phase(TcpPhase p) {
   if (phase_ == p) return;
   phase_ = p;
-  RRTCP_DEBUG(sim_.now(), variant_name(), "flow=%u phase -> %s", flow_,
-              to_string(p));
-  for (auto* o : observers_) o->on_phase(sim_.now(), p);
+  RRTCP_ENV_DEBUG(env_, variant_name(), "flow=%u phase -> %s", flow_,
+                  to_string(p));
+  for (auto* o : observers_) o->on_phase(env_.now(), p);
 }
 
 void TcpSenderBase::update_open_phase() {
@@ -230,23 +241,23 @@ void TcpSenderBase::handle_ecn_echo() {
   update_open_phase();
   ecn_cwr_point_ = snd_nxt_;
   cwr_pending_ = true;  // tell the receiver on the next data segment
-  RRTCP_DEBUG(sim_.now(), variant_name(), "flow=%u ECN reduce, cwnd=%.1f",
-              flow_, cwnd_packets());
+  RRTCP_ENV_DEBUG(env_, variant_name(), "flow=%u ECN reduce, cwnd=%.1f",
+                  flow_, cwnd_packets());
 }
 
 void TcpSenderBase::maybe_sample_rtt(std::uint64_t ack) {
   if (!timing_ || ack <= timed_seq_) return;
   timing_ = false;
-  rto_.sample(sim_.now() - timed_at_);
+  rto_.sample(env_.now() - timed_at_);
   ++stats_.rtt_samples;
 }
 
 void TcpSenderBase::check_complete() {
   if (!complete() || completed_at_ > sim::Time::zero()) return;
-  completed_at_ = sim_.now();
+  completed_at_ = env_.now();
   stop_rto_timer();
-  RRTCP_INFO(sim_.now(), variant_name(), "flow=%u transfer complete (%llu B)",
-             flow_, static_cast<unsigned long long>(*app_total_));
+  RRTCP_ENV_INFO(env_, variant_name(), "flow=%u transfer complete (%llu B)",
+                 flow_, static_cast<unsigned long long>(*app_total_));
   if (complete_fn_) complete_fn_(completed_at_);
 }
 
@@ -260,9 +271,9 @@ void TcpSenderBase::stop_rto_timer() { rto_timer_.cancel(); }
 void TcpSenderBase::on_retransmission_timeout() {
   if (snd_una_ >= max_sent_ && !app_data_available()) return;  // stale fire
   ++stats_.timeouts;
-  for (auto* o : observers_) o->on_timeout(sim_.now());
-  RRTCP_DEBUG(sim_.now(), variant_name(), "flow=%u RTO (una=%llu)", flow_,
-              static_cast<unsigned long long>(snd_una_));
+  for (auto* o : observers_) o->on_timeout(env_.now());
+  RRTCP_ENV_DEBUG(env_, variant_name(), "flow=%u RTO (una=%llu)", flow_,
+                  static_cast<unsigned long long>(snd_una_));
 
   rto_.backoff();
   halve_ssthresh();
@@ -285,15 +296,15 @@ void TcpSenderBase::on_retransmission_timeout() {
 
 void TcpSenderBase::notify_send(std::uint64_t seq, std::uint32_t len,
                                 bool rtx) {
-  for (auto* o : observers_) o->on_send(sim_.now(), seq, len, rtx);
+  for (auto* o : observers_) o->on_send(env_.now(), seq, len, rtx);
 }
 
 void TcpSenderBase::notify_ack(std::uint64_t ack, bool dup) {
-  for (auto* o : observers_) o->on_ack(sim_.now(), ack, dup);
+  for (auto* o : observers_) o->on_ack(env_.now(), ack, dup);
 }
 
 void TcpSenderBase::notify_ack_processed(std::uint64_t ack, bool dup) {
-  for (auto* o : observers_) o->on_ack_processed(sim_.now(), ack, dup);
+  for (auto* o : observers_) o->on_ack_processed(env_.now(), ack, dup);
 }
 
 }  // namespace rrtcp::tcp

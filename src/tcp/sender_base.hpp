@@ -9,26 +9,43 @@
 // two hooks — handle_new_ack() and handle_dup_ack() — plus a timeout
 // cleanup hook, and drive transmission through the protected helpers.
 //
+// The sender talks to the world only through env::Environment — clock,
+// timers, packet I/O, trace sink — so the same variant object runs inside
+// the simulator (env::SimEnvironment) and over real sockets
+// (live::LiveEnvironment) without modification. The (Simulator&, Node&)
+// constructor is a convenience that owns a SimEnvironment internally;
+// simulation drivers that need the environment explicitly build one and
+// use the primary constructor.
+//
 // Sequence numbers are 64-bit byte offsets starting at 0; a segment is
 // `mss` bytes except possibly the final one of a finite transfer.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "env/environment.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
-#include "sim/simulator.hpp"
-#include "sim/timer.hpp"
+#include "sim/small_fn.hpp"
 #include "tcp/rto.hpp"
 #include "tcp/types.hpp"
+
+namespace rrtcp::sim {
+class Simulator;
+}
 
 namespace rrtcp::tcp {
 
 class TcpSenderBase : public net::Agent {
  public:
+  // Primary: the sender lives wherever `env` says. `env` must outlive the
+  // sender.
+  TcpSenderBase(env::Environment& env, net::FlowId flow, TcpConfig cfg = {});
+  // Simulator convenience: owns an env::SimEnvironment over (sim, node)
+  // addressed to `dst`. Equivalent to building that environment yourself.
   TcpSenderBase(sim::Simulator& sim, net::Node& node, net::FlowId flow,
                 net::NodeId dst, TcpConfig cfg = {});
   ~TcpSenderBase() override;
@@ -48,7 +65,7 @@ class TcpSenderBase : public net::Agent {
   // backlog drained; after further enqueues complete() goes false again.
   void app_enqueue(std::uint64_t bytes);
 
-  // Begin transmitting at the current simulation time.
+  // Begin transmitting at the current environment time.
   void start();
   bool started() const { return started_; }
 
@@ -58,8 +75,12 @@ class TcpSenderBase : public net::Agent {
   }
   sim::Time start_time() const { return start_time_; }
   sim::Time completion_time() const { return completed_at_; }
-  void set_complete_callback(std::function<void(sim::Time)> fn) {
-    complete_fn_ = std::move(fn);
+  // Invoked once, at the first instant the transfer completes. The capture
+  // must fit CompleteFn's inline buffer (a few pointers) — completion is
+  // observed on the ACK hot path and must stay allocation-free.
+  template <typename F>
+  void set_complete_callback(F&& fn) {
+    complete_fn_.emplace(std::forward<F>(fn));
   }
 
   // ---- net::Agent ------------------------------------------------------
@@ -78,7 +99,7 @@ class TcpSenderBase : public net::Agent {
   TcpPhase phase() const { return phase_; }
   const SenderStats& stats() const { return stats_; }
   const TcpConfig& config() const { return cfg_; }
-  sim::Simulator& simulator() { return sim_; }
+  env::Environment& environment() { return env_; }
 
   // Classic TCP's view of outstanding data (the quantity the paper argues
   // over-estimates the pipe during recovery).
@@ -166,10 +187,20 @@ class TcpSenderBase : public net::Agent {
   // roll snd_nxt_ back to snd_una_ (go-back-N) and retransmit.
   virtual void on_retransmission_timeout();
 
-  sim::Simulator& sim_;
+  // Declared before env_ so that, in reverse destruction order, the owned
+  // environment (when the simulator-convenience constructor built one)
+  // outlives the env::Timer member below, whose destructor calls back into
+  // it.
+  std::unique_ptr<env::Environment> owned_env_;
+  env::Environment& env_;
   TcpConfig cfg_;
 
  private:
+  // Delegation target of the simulator-convenience constructor: runs the
+  // primary constructor against *owned, then takes ownership.
+  TcpSenderBase(std::unique_ptr<env::Environment> owned, net::FlowId flow,
+                TcpConfig cfg);
+
   void transmit(std::uint64_t seq, std::uint32_t len, bool is_rtx);
   void handle_ecn_echo();
   void maybe_sample_rtt(std::uint64_t ack);
@@ -178,7 +209,6 @@ class TcpSenderBase : public net::Agent {
   void notify_ack(std::uint64_t ack, bool dup);
   void notify_ack_processed(std::uint64_t ack, bool dup);
 
-  net::Node& node_;
   net::FlowId flow_;
   net::NodeId self_;
   net::NodeId dst_;
@@ -186,7 +216,8 @@ class TcpSenderBase : public net::Agent {
   bool started_ = false;
   sim::Time start_time_ = sim::Time::zero();
   sim::Time completed_at_ = sim::Time::zero();
-  std::function<void(sim::Time)> complete_fn_;
+  using CompleteFn = sim::SmallCallable<void(sim::Time), 48>;
+  CompleteFn complete_fn_;
 
   std::optional<std::uint64_t> app_total_;
 
@@ -200,7 +231,7 @@ class TcpSenderBase : public net::Agent {
   TcpPhase phase_ = TcpPhase::kSlowStart;
 
   RtoEstimator rto_;
-  sim::Timer rto_timer_;
+  env::Timer rto_timer_;
 
   // Smooth-Start: toggles on each ACK inside the smoothing region so the
   // window grows every second ACK.

@@ -1,0 +1,140 @@
+// A hand-cranked env::Environment for unit tests: manual clock, recorded
+// egress, deterministic timer firing — and no simulator anywhere. This is
+// the interface-sufficiency proof for the environment seam: if a sender
+// variant or the receiver runs correctly against this ~100-line fake, it
+// depends on nothing but the five Environment capabilities.
+//
+// advance_to() honors the ordering contract the real embodiments guarantee
+// (env/environment.hpp): timers due on the way to the target fire in
+// (deadline, arm order), now() reads the firing deadline inside each
+// callback, and now() never decreases.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "env/environment.hpp"
+#include "net/packet.hpp"
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace rrtcp::test {
+
+class MockEnvironment final : public env::Environment {
+ public:
+  explicit MockEnvironment(net::NodeId local = 1, net::NodeId peer = 2)
+      : local_{local}, peer_{peer} {}
+
+  // ---- env::Environment ------------------------------------------------
+  sim::Time now() const override { return now_; }
+  net::NodeId local_id() const override { return local_; }
+  net::NodeId peer_id() const override { return peer_; }
+
+  void attach(net::FlowId flow, net::Agent* agent) override {
+    for (auto& [f, a] : agents_)
+      if (f == flow) {
+        a = agent;
+        return;
+      }
+    agents_.push_back({flow, agent});
+  }
+  void detach(net::FlowId flow) override {
+    std::erase_if(agents_, [flow](const auto& e) { return e.first == flow; });
+  }
+  void send(net::Packet p) override { sent.push_back(std::move(p)); }
+
+  TimerId timer_create(std::function<void()> on_fire) override {
+    timers_.push_back({std::move(on_fire), true, false, sim::Time::zero(), 0});
+    return static_cast<TimerId>(timers_.size() - 1);
+  }
+  void timer_destroy(TimerId id) override {
+    Slot& s = slot(id);
+    s.live = false;
+    s.armed = false;
+  }
+  void timer_arm(TimerId id, sim::Time delay) override {
+    RRTCP_ASSERT(delay >= sim::Time::zero());
+    Slot& s = slot(id);
+    s.armed = true;
+    s.deadline = now_ + delay;
+    s.arm_seq = next_arm_seq_++;
+  }
+  void timer_cancel(TimerId id) override { slot(id).armed = false; }
+  bool timer_pending(TimerId id) const override {
+    const Slot& s = timers_.at(id);
+    return s.live && s.armed;
+  }
+
+  // ---- Test controls ---------------------------------------------------
+  // Advance the clock to `t`, firing every timer due on the way in
+  // (deadline, arm order). A callback that re-arms within the window fires
+  // again in the same call.
+  void advance_to(sim::Time t) {
+    RRTCP_ASSERT(t >= now_);
+    for (;;) {
+      int due = -1;
+      for (int i = 0; i < static_cast<int>(timers_.size()); ++i) {
+        const Slot& s = timers_[i];
+        if (!s.live || !s.armed || s.deadline > t) continue;
+        if (due < 0 || s.deadline < timers_[due].deadline ||
+            (s.deadline == timers_[due].deadline &&
+             s.arm_seq < timers_[due].arm_seq))
+          due = i;
+      }
+      if (due < 0) break;
+      timers_[due].armed = false;
+      now_ = timers_[due].deadline;
+      timers_[due].on_fire();
+    }
+    now_ = t;
+  }
+  void advance(sim::Time d) { advance_to(now_ + d); }
+
+  // Deliver an ingress packet to the agent attached under p.flow.
+  void deliver(net::Packet p) {
+    for (auto& [f, a] : agents_)
+      if (f == p.flow) {
+        a->receive(std::move(p));
+        return;
+      }
+    RRTCP_ASSERT(false && "deliver: no agent attached for flow");
+  }
+
+  // Earliest armed deadline, if any timer is pending.
+  std::optional<sim::Time> next_deadline() const {
+    std::optional<sim::Time> best;
+    for (const Slot& s : timers_)
+      if (s.live && s.armed && (!best || s.deadline < *best))
+        best = s.deadline;
+    return best;
+  }
+
+  // Every egress packet, in send order. Tests clear() between phases.
+  std::vector<net::Packet> sent;
+
+ private:
+  struct Slot {
+    std::function<void()> on_fire;
+    bool live = false;
+    bool armed = false;
+    sim::Time deadline = sim::Time::zero();
+    std::uint64_t arm_seq = 0;
+  };
+
+  Slot& slot(TimerId id) {
+    RRTCP_ASSERT(id < timers_.size() && timers_[id].live);
+    return timers_[id];
+  }
+
+  net::NodeId local_;
+  net::NodeId peer_;
+  sim::Time now_ = sim::Time::zero();
+  std::vector<std::pair<net::FlowId, net::Agent*>> agents_;
+  std::vector<Slot> timers_;
+  std::uint64_t next_arm_seq_ = 0;
+};
+
+}  // namespace rrtcp::test

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Byte-identity gate for the environment seam: re-run one bench family in
+# quick mode (single-threaded, fixed seed) and require its CSV and JSON
+# outputs byte-identical to the pinned goldens in tests/regression/golden/.
+# Any drift — a reordered event, a perturbed timestamp, a changed trace —
+# fails the cmp. Regenerate goldens only for an intentional, reviewed
+# behavior change.
+#
+# usage: run_golden.sh <bench-binary> <golden-dir> <family> <out-dir>
+set -eu
+
+bench_bin=$1
+golden_dir=$2
+family=$3
+out_dir=$4
+
+mkdir -p "$out_dir"
+"$bench_bin" --quick --threads=1 --seed=1 \
+  --csv="$out_dir/$family.quick.csv" \
+  --json="$out_dir/$family.quick.json"
+
+cmp "$golden_dir/$family.quick.csv" "$out_dir/$family.quick.csv"
+cmp "$golden_dir/$family.quick.json" "$out_dir/$family.quick.json"
+echo "golden-ok $family"

@@ -1,0 +1,22 @@
+// Lint-corpus fixture: MUST fire rrtcp-wall-clock.
+// EXPECT: rrtcp-wall-clock
+//
+// Wall clocks outside src/live break replayability and the sim/live
+// differential contract. This file commits the classic sins: a raw
+// gettimeofday read and a std::chrono::system_clock stamp.
+#include <chrono>
+#include <sys/time.h>
+
+namespace corpus {
+
+double wall_seconds() {
+  timeval tv{};
+  gettimeofday(&tv, nullptr);  // wall-clock syscall
+  return static_cast<double>(tv.tv_sec) + tv.tv_usec * 1e-6;
+}
+
+std::chrono::system_clock::time_point stamp_trace() {
+  return std::chrono::system_clock::now();  // wall-clock chrono read
+}
+
+}  // namespace corpus

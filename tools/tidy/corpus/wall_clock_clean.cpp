@@ -1,0 +1,27 @@
+// Lint-corpus fixture: must stay SILENT under every rrtcp check.
+//
+// The legitimate clocks: std::chrono::steady_clock for host-side elapsed
+// measurement (harness/bench timing — monotonic, never wall time), and an
+// environment-style now() for transport code.
+#include <chrono>
+#include <cstdint>
+
+namespace corpus {
+
+// Monotonic host measurement is fine; only wall clocks are banned.
+double host_elapsed(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Transport code takes its clock from the environment seam.
+struct FakeEnv {
+  std::int64_t now_ps = 0;
+  std::int64_t now() const { return now_ps; }
+};
+
+std::int64_t transport_deadline(const FakeEnv& env, std::int64_t rto_ps) {
+  return env.now() + rto_ps;
+}
+
+}  // namespace corpus

@@ -4,7 +4,7 @@
 // full AST and type information, built against the LLVM dev packages in
 // the CI tidy-plugin job. This tool is the second rail: a dependency-free
 // token-level checker that implements conservative approximations of the
-// same five check IDs, so the lint corpus (tools/tidy/corpus) and a sweep
+// same six check IDs, so the lint corpus (tools/tidy/corpus) and a sweep
 // of src/ run under plain ctest on any machine with a C++ compiler — no
 // clang, no LLVM headers.
 //
@@ -675,6 +675,66 @@ void check_smallfn_inline(const SourceFile& f, const FlatText& ft,
 }
 
 // ---------------------------------------------------------------------------
+// rrtcp-wall-clock
+//
+// Transport/simulation code must never read wall time: the sim clock is
+// Simulator::now() and the live clock is LiveEnvironment's rebased
+// CLOCK_MONOTONIC. Bans gettimeofday, clock_gettime, std::chrono::
+// system_clock, and the time(nullptr) idiom everywhere except src/live —
+// the one translation layer allowed to touch a real (monotonic) clock.
+// std::chrono::steady_clock stays legal: harness/bench measurement of
+// host elapsed time is not simulated time.
+
+void check_wall_clock(const SourceFile& f, const FlatText& ft,
+                      std::vector<Diagnostic>& diags) {
+  if (f.path.find("src/live") != std::string::npos) return;
+  struct Banned {
+    const char* word;
+    const char* why;
+  };
+  static const Banned kBanned[] = {
+      {"gettimeofday",
+       "wall-clock syscall outside src/live; read the environment clock "
+       "(env::Environment::now) instead"},
+      {"clock_gettime",
+       "raw clock syscall outside src/live; even CLOCK_MONOTONIC belongs "
+       "behind the environment clock"},
+      {"system_clock",
+       "std::chrono::system_clock is wall time and not replayable; use the "
+       "environment clock (or steady_clock for host-side measurement)"},
+  };
+  for (const Banned& b : kBanned) {
+    for (std::size_t p = find_word(ft.text, b.word); p != std::string::npos;
+         p = find_word(ft.text, b.word, p + 1)) {
+      emit(diags, f, ft.line_of[p], ft.col_of[p], "rrtcp-wall-clock", b.why);
+    }
+  }
+  // The time(nullptr) wall-clock read (same idiom rrtcp-unnamed-rng flags
+  // as seeding; here it is banned as a clock regardless of what the value
+  // feeds).
+  for (std::size_t p = find_word(ft.text, "time"); p != std::string::npos;
+       p = find_word(ft.text, "time", p + 1)) {
+    if (p > 0 && (ft.text[p - 1] == '.' ||
+                  (p > 1 && ft.text[p - 2] == '-' && ft.text[p - 1] == '>')))
+      continue;  // member access: some other API
+    std::size_t q = p + 4;
+    while (q < ft.text.size() &&
+           std::isspace(static_cast<unsigned char>(ft.text[q])))
+      ++q;
+    if (q >= ft.text.size() || ft.text[q] != '(') continue;
+    const std::size_t close = match_paren(ft.text, q);
+    if (close == std::string::npos) continue;
+    std::string arg = ft.text.substr(q + 1, close - q - 1);
+    arg.erase(std::remove_if(arg.begin(), arg.end(), ::isspace), arg.end());
+    if (arg == "nullptr" || arg == "0" || arg == "NULL") {
+      emit(diags, f, ft.line_of[p], ft.col_of[p], "rrtcp-wall-clock",
+           "time() reads the wall clock; transport code takes its clock "
+           "from env::Environment::now");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // rrtcp-sim-time-equality
 //
 // Flags == / != where either side of the operator (on the same logical
@@ -746,6 +806,7 @@ int main(int argc, char** argv) {
     check_unnamed_rng(sources[i], flats[i], diags);
     check_nondet_iteration(sources[i], flats[i], diags);
     check_smallfn_inline(sources[i], flats[i], diags);
+    check_wall_clock(sources[i], flats[i], diags);
     check_sim_time_equality(sources[i], flats[i], diags);
   }
 

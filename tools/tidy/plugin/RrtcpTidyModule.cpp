@@ -1,4 +1,4 @@
-// rrtcp clang-tidy module — registers the five domain checks and anchors
+// rrtcp clang-tidy module — registers the six domain checks and anchors
 // the plugin so `clang-tidy --load librrtcp_tidy.so --checks=rrtcp-*`
 // picks them up. See tools/tidy/README.md for the build recipe and
 // DESIGN.md §14 for what each check enforces and why.
@@ -10,6 +10,7 @@
 #include "SimTimeEqualityCheck.h"
 #include "SmallFnInlineCheck.h"
 #include "UnnamedRngCheck.h"
+#include "WallClockCheck.h"
 
 namespace clang::tidy {
 namespace rrtcp {
@@ -23,6 +24,7 @@ class RrtcpTidyModule : public ClangTidyModule {
         "rrtcp-nondeterministic-iteration");
     Factories.registerCheck<SmallFnInlineCheck>("rrtcp-smallfn-inline");
     Factories.registerCheck<SimTimeEqualityCheck>("rrtcp-sim-time-equality");
+    Factories.registerCheck<WallClockCheck>("rrtcp-wall-clock");
   }
 };
 

@@ -1,0 +1,65 @@
+#include "WallClockCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/SmallVector.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::rrtcp {
+
+WallClockCheck::WallClockCheck(StringRef Name, ClangTidyContext* Context)
+    : ClangTidyCheck(Name, Context),
+      ExemptPaths(Options.get("ExemptPaths", "src/live")) {}
+
+void WallClockCheck::storeOptions(ClangTidyOptions::OptionMap& Opts) {
+  Options.store(Opts, "ExemptPaths", ExemptPaths);
+}
+
+bool WallClockCheck::isExempt(SourceLocation Loc,
+                              const SourceManager& SM) const {
+  const StringRef File = SM.getFilename(SM.getExpansionLoc(Loc));
+  llvm::SmallVector<StringRef, 4> Parts;
+  StringRef(ExemptPaths).split(Parts, ';', -1, /*KeepEmpty=*/false);
+  for (StringRef P : Parts)
+    if (File.contains(P)) return true;
+  return false;
+}
+
+void WallClockCheck::registerMatchers(MatchFinder* Finder) {
+  // Raw POSIX wall-clock reads. clock_gettime is banned wholesale outside
+  // the exempt paths: even CLOCK_MONOTONIC belongs behind the environment
+  // clock, never inline in transport code.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::gettimeofday", "::clock_gettime", "::time",
+                   "::std::time"))))
+          .bind("posix"),
+      this);
+  // std::chrono::system_clock reads (now / to_time_t / from_time_t).
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::std::chrono::system_clock::now",
+                   "::std::chrono::system_clock::to_time_t",
+                   "::std::chrono::system_clock::from_time_t"))))
+          .bind("chrono"),
+      this);
+}
+
+void WallClockCheck::check(const MatchFinder::MatchResult& Result) {
+  const SourceManager& SM = *Result.SourceManager;
+  if (const auto* E = Result.Nodes.getNodeAs<CallExpr>("posix")) {
+    if (isExempt(E->getBeginLoc(), SM)) return;
+    diag(E->getBeginLoc(),
+         "wall-clock syscall outside src/live; read the environment clock "
+         "(env::Environment::now) instead");
+  } else if (const auto* E = Result.Nodes.getNodeAs<CallExpr>("chrono")) {
+    if (isExempt(E->getBeginLoc(), SM)) return;
+    diag(E->getBeginLoc(),
+         "std::chrono::system_clock is wall time and not replayable; use "
+         "the environment clock (or steady_clock for host-side "
+         "measurement)");
+  }
+}
+
+}  // namespace clang::tidy::rrtcp

@@ -1,0 +1,44 @@
+// rrtcp-wall-clock — transport and simulation code must never read wall
+// time. The simulator's clock is Simulator::now(); the live transport's is
+// CLOCK_MONOTONIC rebased to zero inside live::LiveEnvironment. A wall
+// clock anywhere else breaks replayability (traces stamped with host time)
+// and the sim/live differential contract (the two embodiments would
+// disagree about what "now" means).
+//
+// Bans: gettimeofday, clock_gettime, time(), and std::chrono::system_clock
+// reads. Paths matching ExemptPaths (default: the src/live translation
+// layer, the one place allowed to touch a real — monotonic — clock) are
+// exempt. std::chrono::steady_clock is deliberately NOT banned: harness
+// and bench code measuring host elapsed time is not simulated time.
+#ifndef RRTCP_TIDY_WALL_CLOCK_CHECK_H
+#define RRTCP_TIDY_WALL_CLOCK_CHECK_H
+
+#include "ClangTidyCheck.h"
+
+#include <string>
+
+namespace clang::tidy::rrtcp {
+
+class WallClockCheck : public ClangTidyCheck {
+ public:
+  WallClockCheck(StringRef Name, ClangTidyContext* Context);
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap& Opts) override;
+  bool isLanguageVersionSupported(const LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+
+ private:
+  bool isExempt(SourceLocation Loc, const SourceManager& SM) const;
+
+  // Semicolon-separated path substrings naming the live translation layer.
+  // Stored as std::string: Options.get's return must not dangle past the
+  // ctor.
+  const std::string ExemptPaths;
+};
+
+}  // namespace clang::tidy::rrtcp
+
+#endif  // RRTCP_TIDY_WALL_CLOCK_CHECK_H
