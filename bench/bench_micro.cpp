@@ -31,16 +31,24 @@
 #include <cstring>
 #include <new>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "app/sender_factory.hpp"
+#include "env/sim_env.hpp"
 #include "harness/result_sink.hpp"
 #include "harness/scenario.hpp"
 #include "net/drop_tail.hpp"
 #include "net/node.hpp"
 #include "net/red.hpp"
+#include "pdes/flow_arena.hpp"
+#include "pdes/sharded.hpp"
 #include "sim/legacy_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "stats/table.hpp"
+#include "tcp/receiver.hpp"
+#include "topo/presets.hpp"
 
 // ---------------------------------------------------------------------------
 // Global allocation counters. Every heap round-trip in this process passes
@@ -393,6 +401,140 @@ EndToEnd run_end_to_end(int n_flows, sim::Time horizon, int repeat) {
   return best;
 }
 
+// ---------------------------------------------------------------------------
+// flow_arena_churn: building and tearing down per-flow endpoint state at
+// scale — each flow's concrete sender (footprints straight from the
+// SenderFactory registry's arena vtable), its receiver and the two
+// environment seams. Engine "heap" pays one operator new/delete per object
+// (the unique_ptr soup the plain Scenario builds); engine "arena" bumps
+// through one pre-faulted pdes::FlowArena block and must stay at exactly
+// 0 allocs/object in the measured region — the steady-state claim in
+// flow_arena.hpp, enforced by scripts/check_perf_trajectory.py.
+std::vector<std::pair<std::size_t, std::size_t>> flow_footprints(int flows) {
+  static constexpr app::Variant kMix[] = {
+      app::Variant::kRr, app::Variant::kNewReno, app::Variant::kSack,
+      app::Variant::kReno};
+  const app::SenderFactory& reg = app::SenderFactory::instance();
+  std::vector<std::pair<std::size_t, std::size_t>> fp;
+  fp.reserve(static_cast<std::size_t>(flows) * 4);
+  for (int i = 0; i < flows; ++i) {
+    const app::SenderFactory::Entry& e = reg.at(kMix[i % 4]);
+    fp.emplace_back(e.size, e.align);
+    fp.emplace_back(sizeof(tcp::TcpReceiver), alignof(tcp::TcpReceiver));
+    fp.emplace_back(sizeof(env::SimEnvironment), alignof(env::SimEnvironment));
+    fp.emplace_back(sizeof(env::SimEnvironment), alignof(env::SimEnvironment));
+  }
+  return fp;
+}
+
+Measure run_arena_churn(bool use_arena, int flows, int repeat) {
+  const auto fp = flow_footprints(flows);
+  std::size_t total = 0;
+  for (const auto& [size, align] : fp) total += size + align;
+  Measure best;
+  for (int r = 0; r < repeat; ++r) {
+    Measure m;
+    if (use_arena) {
+      // One block holds the whole fleet; the pre-fault allocation maps it
+      // before the snapshot so the measured bump pointer never calls new.
+      pdes::FlowArena arena{total + 64};
+      arena.allocate(8, 8);
+      const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+      const auto t0 = Clock::now();
+      for (const auto& [size, align] : fp) arena.allocate(size, align);
+      arena.reset();  // teardown frees the block; it never allocates
+      m.wall_s = seconds_since(t0);
+      m.allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+    } else {
+      std::vector<void*> ptrs;
+      ptrs.reserve(fp.size());
+      for (const auto& f : fp) ptrs.push_back(::operator new(f.first));
+      for (void* p : ptrs) ::operator delete(p);  // warm the allocator
+      ptrs.clear();
+      const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+      const auto t0 = Clock::now();
+      for (const auto& f : fp) ptrs.push_back(::operator new(f.first));
+      for (void* p : ptrs) ::operator delete(p);
+      ptrs.clear();
+      m.wall_s = seconds_since(t0);
+      m.allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+    }
+    m.units = fp.size();
+    keep_best(best, m);
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// shard_scaling: the sharded conservative-PDES engine against the single
+// engine on the same multi-dumbbell scenario (graph-mode FlowSet, RR
+// senders saturating the shared bottleneck). units = events executed
+// across all shards. The speedup is whatever the machine's cores can fund
+// — on a 1-core box the barrier overhead makes it < 1x, and the row
+// reports that honestly (hardware_threads lands in the JSON); neither
+// direction is ratio-gated.
+struct ShardScaling {
+  Measure m;
+  std::uint64_t rounds = 0;
+  std::uint64_t cross_shard_packets = 0;
+};
+
+harness::ScenarioSpec shard_bench_spec(int shards, int n_flows,
+                                       sim::Time horizon) {
+  topo::MultiDumbbellConfig mdc;
+  mdc.n_senders = n_flows;
+  mdc.m_receivers = n_flows;
+  mdc.side_delay = sim::Time::milliseconds(5);  // cuttable access links
+  mdc.bottleneck_delay = sim::Time::milliseconds(20);
+  // A fat pipe and a deep queue: the default 800 kbps dumbbell would park
+  // the whole fleet in RTO backoff and leave nothing to measure.
+  mdc.bottleneck_bps = 100'000'000;
+  mdc.side_bps = 1'000'000'000;
+  mdc.queue_packets = 128;
+  const topo::MultiDumbbellLayout md = topo::multi_dumbbell(mdc);
+
+  harness::ScenarioSpec spec;
+  spec.name = "bench_micro/shard";
+  spec.graph = md.spec;
+  spec.shard_count = shards;
+  spec.horizon = horizon;
+  spec.instruments.tracers = false;
+  spec.instruments.audit = harness::AuditMode::kNone;
+  spec.instruments.watchdog = false;
+  harness::FlowSet set;
+  set.count = n_flows;
+  set.proto.variant = app::Variant::kRr;
+  set.proto.bytes = 10'000'000;  // backlog outlives the horizon: always busy
+  set.proto.src_node = md.senders[0];
+  set.proto.dst_node = md.receivers[0];
+  set.stagger = sim::Time::milliseconds(40);
+  set.src_step = 1;
+  set.dst_step = 1;
+  spec.add_flow_set(set);
+  return spec;
+}
+
+ShardScaling run_shard_scaling(int shards, int n_flows, sim::Time horizon,
+                               int repeat) {
+  ShardScaling best;
+  for (int r = 0; r < repeat; ++r) {
+    pdes::ShardedScenario sc{shard_bench_spec(shards, n_flows, horizon)};
+    const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+    const auto t0 = Clock::now();
+    const std::uint64_t events = sc.run();
+    Measure m;
+    m.wall_s = seconds_since(t0);
+    m.units = events;
+    m.allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+    if (best.m.units == 0 || m.per_sec() > best.m.per_sec()) {
+      best.m = m;
+      best.rounds = sc.rounds();
+      best.cross_shard_packets = sc.cross_shard_packets();
+    }
+  }
+  return best;
+}
+
 harness::Record row(const char* bench, const char* engine, const Measure& m,
                     const char* unit) {
   harness::Record rec;
@@ -486,6 +628,21 @@ int main(int argc, char** argv) {
   const EndToEnd e2e_one = run_end_to_end(1, e2e_horizon, repeat);
   const EndToEnd e2e_ten = run_end_to_end(10, e2e_horizon, repeat);
 
+  const int arena_flows = quick ? 1'000 : 10'000;
+  const Measure arena_heap = run_arena_churn(false, arena_flows, repeat);
+  const Measure arena_pool = run_arena_churn(true, arena_flows, repeat);
+
+  const int shard_flows = quick ? 8 : 32;
+  const sim::Time shard_horizon = sim::Time::seconds(quick ? 3 : 8);
+  const ShardScaling shard_single =
+      run_shard_scaling(1, shard_flows, shard_horizon, repeat);
+  const ShardScaling shard_multi =
+      run_shard_scaling(4, shard_flows, shard_horizon, repeat);
+  const double shard_speedup =
+      shard_single.m.per_sec() > 0
+          ? shard_multi.m.per_sec() / shard_single.m.per_sec()
+          : 0.0;
+
   // ------------------------------------------------------------------ report
   stats::Table table{{"benchmark", "engine", "rate", "allocs/unit"}};
   auto add = [&table](const char* b, const char* e, const Measure& m,
@@ -506,6 +663,10 @@ int main(int argc, char** argv) {
   add("route_forward", "flat_table", route_fwd, "hops");
   add("e2e_1flow", "pooled", e2e_one.packets, "packets");
   add("e2e_10flow_rr", "pooled", e2e_ten.packets, "packets");
+  add("flow_arena_churn", "heap", arena_heap, "objects");
+  add("flow_arena_churn", "arena", arena_pool, "objects");
+  add("shard_scaling", "single", shard_single.m, "events");
+  add("shard_scaling", "shard4", shard_multi.m, "events");
   table.print();
   std::printf(
       "\nforward speedup (pooled vs legacy): %.2fx"
@@ -535,9 +696,21 @@ int main(int argc, char** argv) {
       e2e_one.steady_allocs_per_packet(),
       static_cast<unsigned long long>(e2e_ten.setup_allocs),
       e2e_ten.steady_allocs_per_packet());
+  std::printf(
+      "flow_arena_churn speedup (arena vs heap): %.2fx, arena "
+      "allocs/object %.4f\n",
+      arena_heap.per_sec() > 0 ? arena_pool.per_sec() / arena_heap.per_sec()
+                               : 0.0,
+      arena_pool.allocs_per_unit());
+  std::printf(
+      "shard_scaling (4 shards vs single, %d flows): %.2fx on %u hardware "
+      "thread(s); %llu rounds, %llu cross-shard packets\n",
+      shard_flows, shard_speedup, std::thread::hardware_concurrency(),
+      static_cast<unsigned long long>(shard_multi.rounds),
+      static_cast<unsigned long long>(shard_multi.cross_shard_packets));
 
   if (write_json) {
-    harness::ResultSink sink{13};
+    harness::ResultSink sink{17};
     auto put = [&sink](std::size_t i, harness::Record rec) {
       sink.submit(i, std::move(rec), 0.0);
     };
@@ -566,6 +739,19 @@ int main(int argc, char** argv) {
                 .set("setup_allocs", e2e_ten.setup_allocs)
                 .set("steady_allocs_per_packet",
                      e2e_ten.steady_allocs_per_packet()));
+    put(13, row("flow_arena_churn", "heap", arena_heap, "objects"));
+    put(14, row("flow_arena_churn", "arena", arena_pool, "objects")
+                .set("speedup_vs_heap",
+                     arena_heap.per_sec() > 0
+                         ? arena_pool.per_sec() / arena_heap.per_sec()
+                         : 0.0));
+    put(15, row("shard_scaling", "single", shard_single.m, "events"));
+    put(16, row("shard_scaling", "shard4", shard_multi.m, "events")
+                .set("speedup_vs_single", shard_speedup)
+                .set("rounds", shard_multi.rounds)
+                .set("cross_shard_packets", shard_multi.cross_shard_packets)
+                .set("hardware_threads",
+                     static_cast<int>(std::thread::hardware_concurrency())));
     harness::write_file(json_path, sink.to_json("bench_micro", 0));
     std::printf("\nwrote %s\n", json_path.c_str());
   }

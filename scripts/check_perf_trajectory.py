@@ -58,6 +58,17 @@ ZERO_ALLOC_ROWS = [
     ("droptail_queue", "ring"),
     ("red_queue", "ring"),
     ("route_forward", "flat_table"),
+    ("flow_arena_churn", "arena"),
+]
+
+# Rows whose rate depends on real parallelism (thread scheduling, core
+# count): run-to-run spread exceeds the tolerance band even on one
+# machine, and CI runners differ in core count, so the calibrated floor
+# would flake. They must still be PRESENT (coverage check applies); only
+# the throughput floor is skipped. The sharded engine's correctness is
+# pinned by tests/pdes, not by this gate.
+FLOOR_EXEMPT_ROWS = [
+    ("shard_scaling", "shard4"),
 ]
 
 
@@ -129,6 +140,10 @@ def main() -> int:
         if cur_row is None:
             failures.append(f"row {key} present in baseline but missing from "
                             f"current run — bench coverage shrank")
+            continue
+        if key in FLOOR_EXEMPT_ROWS:
+            print(f"  {key[0]:<15} {key[1]:<7} {rate_of(cur_row):>14,.0f} "
+                  f"{base_row['unit']}/s  (floor exempt: parallel wall-clock)")
             continue
         floor = rate_of(base_row) * scale * (1.0 - tol)
         got = rate_of(cur_row)

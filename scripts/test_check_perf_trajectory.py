@@ -71,6 +71,11 @@ def full_rowset(scale=1.0, forward_pooled_factor=2.5, alloc_overrides=None,
             a("route_forward", "flat_table"), unit="hops"),
         row("e2e_1flow", "pooled", 2e4 * scale, 0.1, unit="packets",
             steady_allocs_per_packet=steady),
+        row("flow_arena_churn", "heap", 1e7 * scale, 1.0, unit="objects"),
+        row("flow_arena_churn", "arena", 3e8 * scale,
+            a("flow_arena_churn", "arena"), unit="objects"),
+        row("shard_scaling", "single", 1e7 * scale, 0.0),
+        row("shard_scaling", "shard4", 8e6 * scale, 0.001),
     ]
     return rows
 
@@ -183,6 +188,14 @@ class AllocGateTests(GateHarness):
             alloc_overrides={("route_forward", "flat_table"): 0.5})
         self.assertEqual(self.run_gate(current, current), 1)
 
+    def test_flow_arena_is_alloc_gated(self):
+        # The FlowArena bump path joined ZERO_ALLOC_ROWS: steady-state
+        # arena construction must never reach operator new.
+        self.assertIn(("flow_arena_churn", "arena"), cpt.ZERO_ALLOC_ROWS)
+        current = full_rowset(
+            alloc_overrides={("flow_arena_churn", "arena"): 0.5})
+        self.assertEqual(self.run_gate(current, current), 1)
+
     def test_e2e_steady_state_gated_separately_from_setup(self):
         # e2e rows carry setup allocs (0.1/packet overall) legitimately;
         # only steady_allocs_per_packet is gated.
@@ -205,6 +218,21 @@ class CoverageTests(GateHarness):
         baseline = [r for r in full_rowset()
                     if r["bench"] != "route_forward"]
         self.assertEqual(self.run_gate(baseline, full_rowset()), 0)
+
+    def test_floor_exempt_row_may_slow_but_not_vanish(self):
+        # shard_scaling/shard4 measures parallel wall-clock: its rate is
+        # scheduling noise on a shared runner, so the calibrated floor
+        # skips it — but dropping the row entirely still shrinks coverage.
+        self.assertIn(("shard_scaling", "shard4"), cpt.FLOOR_EXEMPT_ROWS)
+        slow = full_rowset()
+        for r in slow:
+            if r["bench"] == "shard_scaling" and r["engine"] == "shard4":
+                r["events_per_sec"] /= 10.0
+        self.assertEqual(self.run_gate(full_rowset(), slow), 0)
+        gone = [r for r in full_rowset()
+                if not (r["bench"] == "shard_scaling"
+                        and r["engine"] == "shard4")]
+        self.assertEqual(self.run_gate(full_rowset(), gone), 1)
 
     def test_malformed_json_fails_cleanly(self):
         with tempfile.TemporaryDirectory() as td:

@@ -5,17 +5,13 @@
 
 namespace rrtcp::app {
 
-namespace {
-
-tcp::ReceiverConfig receiver_config(Variant v, const tcp::TcpConfig& cfg) {
+tcp::ReceiverConfig receiver_config_for(Variant v, const tcp::TcpConfig& cfg) {
   tcp::ReceiverConfig rcfg;
   rcfg.ack_bytes = cfg.ack_bytes;
   rcfg.sack_enabled = SenderFactory::instance().at(v).sack_receiver;
   rcfg.ecn_enabled = cfg.ecn_enabled;
   return rcfg;
 }
-
-}  // namespace
 
 Flow make_flow(Variant v, sim::Simulator& sim, net::Node& snd_node,
                net::Node& rcv_node, net::FlowId flow, tcp::TcpConfig cfg) {
@@ -26,7 +22,7 @@ Flow make_flow(Variant v, sim::Simulator& sim, net::Node& snd_node,
       std::make_unique<env::SimEnvironment>(sim, rcv_node, snd_node.id());
   f.sender = SenderFactory::instance().make(v, *f.snd_env, flow, cfg);
   f.receiver = std::make_unique<tcp::TcpReceiver>(*f.rcv_env, flow,
-                                                  receiver_config(v, cfg));
+                                                  receiver_config_for(v, cfg));
   return f;
 }
 
@@ -35,7 +31,7 @@ Flow make_flow(Variant v, env::Environment& snd_env, env::Environment& rcv_env,
   Flow f;
   f.sender = SenderFactory::instance().make(v, snd_env, flow, cfg);
   f.receiver = std::make_unique<tcp::TcpReceiver>(rcv_env, flow,
-                                                  receiver_config(v, cfg));
+                                                  receiver_config_for(v, cfg));
   return f;
 }
 

@@ -40,4 +40,10 @@ Flow make_flow(Variant v, sim::Simulator& sim, net::Node& snd_node,
 Flow make_flow(Variant v, env::Environment& snd_env, env::Environment& rcv_env,
                net::FlowId flow, tcp::TcpConfig cfg = {});
 
+// The ReceiverConfig paired with a sender of variant `v` under `cfg` —
+// notably whether the receiver generates SACK blocks (a registry fact).
+// Exposed for construction paths that build receivers directly, e.g. the
+// arena-backed flows of pdes::ShardedScenario.
+tcp::ReceiverConfig receiver_config_for(Variant v, const tcp::TcpConfig& cfg);
+
 }  // namespace rrtcp::app

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <new>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 #include "core/rr_sender.hpp"
 #include "tcp/newreno.hpp"
@@ -24,21 +26,32 @@ std::unique_ptr<tcp::TcpSenderBase> make_sender(env::Environment& env,
   return std::make_unique<Sender>(env, flow, cfg);
 }
 
+template <typename Sender>
+tcp::TcpSenderBase* place_sender(void* mem, env::Environment& env,
+                                 net::FlowId flow, const tcp::TcpConfig& cfg) {
+  return ::new (mem) Sender(env, flow, cfg);
+}
+
 }  // namespace
 
 SenderFactory::SenderFactory() {
-  auto set = [this](Variant v, const char* name, Maker maker,
-                    bool sack_receiver) {
-    entries_[static_cast<std::size_t>(v)] = Entry{name, maker, sack_receiver};
+  auto set = [this]<typename Sender>(Variant v, const char* name,
+                                     std::type_identity<Sender>,
+                                     bool sack_receiver) {
+    entries_[static_cast<std::size_t>(v)] =
+        Entry{name,           &make_sender<Sender>, sack_receiver,
+              sizeof(Sender), alignof(Sender),      &place_sender<Sender>};
   };
-  set(Variant::kTahoe, "tahoe", &make_sender<tcp::TahoeSender>, false);
-  set(Variant::kReno, "reno", &make_sender<tcp::RenoSender>, false);
-  set(Variant::kNewReno, "newreno", &make_sender<tcp::NewRenoSender>, false);
-  set(Variant::kSack, "sack", &make_sender<tcp::SackSender>, true);
-  set(Variant::kRr, "rr", &make_sender<core::RrSender>, false);
-  set(Variant::kRightEdge, "rightedge", &make_sender<tcp::RightEdgeSender>,
+  set(Variant::kTahoe, "tahoe", std::type_identity<tcp::TahoeSender>{}, false);
+  set(Variant::kReno, "reno", std::type_identity<tcp::RenoSender>{}, false);
+  set(Variant::kNewReno, "newreno", std::type_identity<tcp::NewRenoSender>{},
       false);
-  set(Variant::kLinKung, "linkung", &make_sender<tcp::LinKungSender>, false);
+  set(Variant::kSack, "sack", std::type_identity<tcp::SackSender>{}, true);
+  set(Variant::kRr, "rr", std::type_identity<core::RrSender>{}, false);
+  set(Variant::kRightEdge, "rightedge",
+      std::type_identity<tcp::RightEdgeSender>{}, false);
+  set(Variant::kLinKung, "linkung", std::type_identity<tcp::LinKungSender>{},
+      false);
 }
 
 const SenderFactory& SenderFactory::instance() {

@@ -81,6 +81,12 @@ struct CaseSpec {
   double cbr_load = 0.0;  // fraction of the bottleneck rate per stream
   sim::Time horizon = sim::Time::seconds(60);
 
+  // Shard count for the shard-equivalence oracle: > 1 makes run_case also
+  // build the (fault-free) spec on the sharded PDES engine and require
+  // per-flow digests identical to a single-engine run. 1 = oracle off.
+  // Only meaningful on graph-mode topologies (the dumbbell delegates).
+  int shard_count = 1;
+
   // Watchdog thresholds (ride into InstrumentationOptions; satellite S2 —
   // short fuzzed scenarios need tighter windows than the soak defaults).
   sim::Time wd_check_interval = sim::Time::milliseconds(500);

@@ -1,0 +1,73 @@
+// Trace digests: the currency of every equivalence oracle.
+//
+// TraceDigest is FNV-1a over an event stream; DigestObserver feeds it the
+// sender-observer callbacks of one flow (event order is simulation order,
+// values are exact integers — times in picoseconds, doubles by bit
+// pattern), so equal digests mean equal traces for any deterministic
+// engine. The fuzz runner hashes all flows into ONE digest (cross-flow
+// interleaving is part of the single-engine determinism contract); the
+// shard-equivalence oracle and the pdes tests hash PER FLOW, because the
+// sharded engine guarantees each flow's trace, not the global interleave
+// of independent flows that never exchange a packet.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "sim/time.hpp"
+#include "tcp/sender_base.hpp"
+
+namespace rrtcp::fuzz {
+
+class TraceDigest {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (i * 8)) & 0xff;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+class DigestObserver final : public tcp::SenderObserver {
+ public:
+  DigestObserver(TraceDigest& digest, int flow)
+      : digest_{digest}, flow_{static_cast<std::uint64_t>(flow)} {}
+
+  void on_send(sim::Time now, std::uint64_t seq, std::uint32_t len,
+               bool rtx) override {
+    mix_event(1, now);
+    digest_.mix(seq);
+    digest_.mix((static_cast<std::uint64_t>(len) << 1) | (rtx ? 1 : 0));
+  }
+  void on_ack(sim::Time now, std::uint64_t ack, bool dup) override {
+    mix_event(2, now);
+    digest_.mix((ack << 1) | (dup ? 1 : 0));
+  }
+  void on_phase(sim::Time now, tcp::TcpPhase phase) override {
+    mix_event(3, now);
+    digest_.mix(static_cast<std::uint64_t>(phase));
+  }
+  void on_timeout(sim::Time now) override { mix_event(4, now); }
+  void on_cwnd(sim::Time now, double cwnd_packets) override {
+    mix_event(5, now);
+    std::uint64_t bits;
+    std::memcpy(&bits, &cwnd_packets, sizeof bits);
+    digest_.mix(bits);
+  }
+
+ private:
+  void mix_event(std::uint64_t tag, sim::Time now) {
+    digest_.mix((flow_ << 8) | tag);
+    digest_.mix(static_cast<std::uint64_t>(now.ps()));
+  }
+
+  TraceDigest& digest_;
+  std::uint64_t flow_;
+};
+
+}  // namespace rrtcp::fuzz

@@ -1,5 +1,6 @@
 #include "fuzz/runner.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -9,67 +10,13 @@
 
 #include "audit/invariant_auditor.hpp"
 #include "chaos/watchdog.hpp"
+#include "fuzz/digest.hpp"
+#include "pdes/sharded.hpp"
 #include "sim/assert.hpp"
 
 namespace rrtcp::fuzz {
 
 namespace {
-
-// FNV-1a over the sender-observer event stream of every flow. Event order
-// is simulation order, values are exact integers (times in picoseconds,
-// doubles by bit pattern), so equal digests mean equal traces for any
-// deterministic engine — the currency of the determinism and
-// engine-equivalence oracles.
-class TraceDigest {
- public:
-  void mix(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      hash_ ^= (v >> (i * 8)) & 0xff;
-      hash_ *= 0x100000001b3ull;
-    }
-  }
-  std::uint64_t value() const { return hash_; }
-
- private:
-  std::uint64_t hash_ = 0xcbf29ce484222325ull;
-};
-
-class DigestObserver final : public tcp::SenderObserver {
- public:
-  DigestObserver(TraceDigest& digest, int flow)
-      : digest_{digest}, flow_{static_cast<std::uint64_t>(flow)} {}
-
-  void on_send(sim::Time now, std::uint64_t seq, std::uint32_t len,
-               bool rtx) override {
-    mix_event(1, now);
-    digest_.mix(seq);
-    digest_.mix((static_cast<std::uint64_t>(len) << 1) | (rtx ? 1 : 0));
-  }
-  void on_ack(sim::Time now, std::uint64_t ack, bool dup) override {
-    mix_event(2, now);
-    digest_.mix((ack << 1) | (dup ? 1 : 0));
-  }
-  void on_phase(sim::Time now, tcp::TcpPhase phase) override {
-    mix_event(3, now);
-    digest_.mix(static_cast<std::uint64_t>(phase));
-  }
-  void on_timeout(sim::Time now) override { mix_event(4, now); }
-  void on_cwnd(sim::Time now, double cwnd_packets) override {
-    mix_event(5, now);
-    std::uint64_t bits;
-    std::memcpy(&bits, &cwnd_packets, sizeof bits);
-    digest_.mix(bits);
-  }
-
- private:
-  void mix_event(std::uint64_t tag, sim::Time now) {
-    digest_.mix((flow_ << 8) | tag);
-    digest_.mix(static_cast<std::uint64_t>(now.ps()));
-  }
-
-  TraceDigest& digest_;
-  std::uint64_t flow_;
-};
 
 struct SingleRun {
   bool built = false;
@@ -161,6 +108,58 @@ SingleRun single_run(const CaseSpec& cs, bool timer_wheel) {
   return out;
 }
 
+// One leg of the shard-equivalence oracle: build the case's materialized
+// spec (no fault injectors — they interpose on a concrete Scenario graph,
+// which the sharded engine does not share) on pdes::ShardedScenario with
+// `shards` shards and return every flow's trace digest. Per-flow rather
+// than one shared digest: the sharded engine pins each flow's trace, not
+// the global interleave of flows that never exchange a packet. Audit and
+// watchdog are off on BOTH legs so the two specs match exactly (sharded
+// mode would force them off anyway).
+struct ShardRun {
+  bool built = false;
+  std::string error;  // abort/build failure when !built
+  std::vector<std::uint64_t> digests;
+};
+
+ShardRun shard_leg(const CaseSpec& cs, int shards) {
+  ShardRun out;
+  AssertTrapScope trap;
+  try {
+    harness::ScenarioSpec spec = materialize(cs);
+    spec.shard_count = shards;
+    spec.instruments.tracers = false;
+    spec.instruments.audit = harness::AuditMode::kNone;
+    spec.instruments.watchdog = false;
+    harness::SpecError err;
+    auto sc = pdes::ShardedScenario::try_build(std::move(spec), &err);
+    if (sc == nullptr) {
+      out.error = harness::to_string(err.code);
+      return out;
+    }
+    const std::size_t n = static_cast<std::size_t>(sc->n_flows());
+    std::vector<TraceDigest> digests(n);
+    std::vector<std::unique_ptr<DigestObserver>> observers;
+    observers.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      observers.push_back(
+          std::make_unique<DigestObserver>(digests[i], static_cast<int>(i)));
+      sc->sender(static_cast<int>(i)).add_observer(observers.back().get());
+    }
+    sc->run();
+    for (std::size_t i = 0; i < n; ++i)
+      sc->sender(static_cast<int>(i)).remove_observer(observers[i].get());
+    out.built = true;
+    out.digests.reserve(n);
+    for (const TraceDigest& d : digests) out.digests.push_back(d.value());
+  } catch (const TrappedAbort& e) {
+    out.error = e.id();
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* to_string(OracleKind k) {
@@ -175,6 +174,8 @@ const char* to_string(OracleKind k) {
       return "determinism";
     case OracleKind::kEquivalence:
       return "equivalence";
+    case OracleKind::kShardEquivalence:
+      return "shard-equivalence";
     case OracleKind::kAbort:
       return "abort";
     case OracleKind::kBuildReject:
@@ -213,6 +214,44 @@ RunOutcome run_case(const CaseSpec& cs, const RunOptions& opts) {
                     out.digest, heap_only.digest);
       out.failures.push_back(
           {OracleKind::kEquivalence, "ENGINE_DIGEST", detail});
+    }
+  }
+  // Sharded vs single per-flow digests on the same (fault-free) spec.
+  // Mutant cases are skipped: the sharded engine rejects flow_maker specs,
+  // and the mutants' bugs are already caught by the primary oracles.
+  //
+  // The digest comparison is limited to multi-dumbbell cases: with
+  // zero-delay access links every positive-delay link is a cut link, so no
+  // delivery's scheduling spans a round boundary inside a shard and the
+  // cross-engine trace equality is exact (DESIGN.md §17). Symmetric
+  // topologies like the parking lot or mesh can produce same-picosecond
+  // arrivals at one node via different links, where the engines legally
+  // disagree on delivery order — there the sharded leg still runs both
+  // legs as a crash/assert/build oracle, without comparing digests.
+  if (opts.check_shard_equivalence && cs.shard_count > 1 &&
+      cs.mutant.empty()) {
+    const bool tie_safe = cs.topo == TopoKind::kMultiDumbbell;
+    const ShardRun one = shard_leg(cs, /*shards=*/1);
+    const ShardRun many = shard_leg(cs, cs.shard_count);
+    if (!one.built || !many.built) {
+      out.failures.push_back({OracleKind::kShardEquivalence, "SHARD_BUILD",
+                              one.built ? many.error : one.error});
+    } else if (tie_safe && one.digests != many.digests) {
+      std::size_t flow = 0;
+      const std::size_t n = std::min(one.digests.size(), many.digests.size());
+      while (flow < n && one.digests[flow] == many.digests[flow]) ++flow;
+      if (flow == n) {
+        std::snprintf(detail, sizeof detail, "flow counts differ: %zu vs %zu",
+                      one.digests.size(), many.digests.size());
+      } else {
+        std::snprintf(detail, sizeof detail,
+                      "flow %zu: 1-shard digest %016" PRIx64
+                      " != %d-shard digest %016" PRIx64,
+                      flow, one.digests[flow], cs.shard_count,
+                      many.digests[flow]);
+      }
+      out.failures.push_back(
+          {OracleKind::kShardEquivalence, "SHARD_DIGEST", detail});
     }
   }
   return out;

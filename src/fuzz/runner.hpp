@@ -11,6 +11,11 @@
 //   kDeterminism  the same case run twice produced different trace digests
 //   kEquivalence  timer-wheel and heap-only scheduling produced different
 //                 trace digests (DESIGN.md's engine-equivalence contract)
+//   kShardEquivalence  the sharded PDES engine (pdes::ShardedScenario at
+//                 the case's shard_count) crashed, failed to build, or —
+//                 on the tie-safe multi-dumbbell topology — produced
+//                 different per-flow digests than the single-engine run of
+//                 the same spec (DESIGN.md §17's determinism contract)
 //   kAbort        a trapped RRTCP_ASSERT / build-gated audit abort
 //   kBuildReject  Scenario::validate refused the spec (generator bug —
 //                 sampled specs are supposed to be valid by construction)
@@ -34,6 +39,7 @@ enum class OracleKind : std::uint8_t {
   kLiveness,
   kDeterminism,
   kEquivalence,
+  kShardEquivalence,
   kAbort,
   kBuildReject,
   kCount,
@@ -56,6 +62,11 @@ struct RunOptions {
   // Run the case with the hierarchical timer wheel disabled and require
   // the same digest as the wheel-on run.
   bool check_equivalence = true;
+  // When the case samples shard_count > 1 (and is not a mutant), run the
+  // fault-free spec on the sharded PDES engine and on a single engine.
+  // Both legs are crash/assert oracles; the per-flow digests must match on
+  // multi-dumbbell cases (the tie-safe family — see runner.cpp).
+  bool check_shard_equivalence = true;
 };
 
 struct RunOutcome {

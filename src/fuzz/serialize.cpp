@@ -127,6 +127,9 @@ std::string to_replay_text(const CaseSpec& cs,
   emit(&out, "n_cbr", "%d", cs.n_cbr);
   emit(&out, "cbr_load", "%.17g", cs.cbr_load);
   emit(&out, "horizon_ps", "%" PRId64, cs.horizon.ps());
+  // Emitted only when set: files from before the sharded engine stay
+  // byte-identical through a save/load round trip.
+  if (cs.shard_count != 1) emit(&out, "shard_count", "%d", cs.shard_count);
   emit(&out, "wd_check_interval_ps", "%" PRId64, cs.wd_check_interval.ps());
   emit(&out, "wd_stall_rto_factor", "%d", cs.wd_stall_rto_factor);
   emit(&out, "wd_livelock_rtx", "%d", cs.wd_livelock_rtx);
@@ -221,6 +224,8 @@ bool parse_replay_text(std::string_view text, ReplayCase* out,
       ok = parse_double(value, &cs.cbr_load);
     } else if (key == "horizon_ps") {
       ok = parse_time(value, &cs.horizon);
+    } else if (key == "shard_count") {
+      ok = parse_int(value, &cs.shard_count);
     } else if (key == "wd_check_interval_ps") {
       ok = parse_time(value, &cs.wd_check_interval);
     } else if (key == "wd_stall_rto_factor") {

@@ -62,6 +62,18 @@ CaseSpec SpecGenerator::generate(std::uint64_t index) const {
     cs.cbr_load = uniform_range(rng, 0.05, 0.25);
   }
 
+  // Shard count comes from its OWN named stream, not `rng`: adding the
+  // sharded engine must not shift any draw existing cases (and the
+  // committed corpus expectations) were generated from. Graph-mode
+  // topologies only — the dumbbell always delegates to the single engine,
+  // so a shard_count there would buy two no-op runs per case.
+  if (cs.topo != TopoKind::kDumbbell) {
+    sim::Rng shard_rng{cs.seed, "fuzz-gen-shard"};
+    static constexpr int kShardChoices[] = {1, 1, 2, 4};
+    cs.shard_count = kShardChoices[shard_rng.uniform_int(
+        0, std::size(kShardChoices) - 1)];
+  }
+
   cs.wd_check_interval = uniform_time(rng, sim::Time::milliseconds(200),
                                       sim::Time::milliseconds(800));
   if (rng.bernoulli(0.5))

@@ -85,6 +85,13 @@ std::optional<SpecError> Scenario::validate(const ScenarioSpec& spec) {
     return std::optional<SpecError>{SpecError{c, std::move(d)}};
   };
 
+  if (!spec.flow_sets.empty()) {
+    // Validate what will actually be built.
+    ScenarioSpec expanded = spec;
+    expanded.expand_flow_sets();
+    return validate(expanded);
+  }
+
   if (spec.flows.empty())
     return fail(SpecError::Code::kNoFlows, "scenario has no flows");
   if (spec.horizon <= sim::Time::zero())
@@ -182,6 +189,7 @@ std::unique_ptr<Scenario> Scenario::try_build(ScenarioSpec spec,
 }
 
 Scenario::Scenario(ScenarioSpec spec) : spec_{std::move(spec)} {
+  spec_.expand_flow_sets();
   RRTCP_ASSERT_MSG(!spec_.flows.empty(), "scenario needs at least one flow");
 
   // Engine-tier selection must precede every schedule (the hook asserts

@@ -97,6 +97,24 @@ struct FlowSpec {
   int dst_node = -1;
 };
 
+// N identical-config flows as ONE spec entry. A million-flow scenario must
+// not carry a million FlowSpecs: the set stores one prototype plus an
+// expansion rule, and expand_flow_sets() materializes the members at build
+// time. Expansion is purely mechanical — member i starts at
+// proto.start + stagger*i and (graph mode) runs
+// proto.src_node + src_step*i -> proto.dst_node + dst_step*i — so a spec
+// written with flow sets is byte-equivalent to the same spec written with
+// the expanded flow list.
+struct FlowSet {
+  int count = 0;
+  FlowSpec proto = {};
+  sim::Time stagger = sim::Time::zero();
+  // Graph mode: node-index strides, letting one set cover "flow i runs
+  // host_i -> sink_i" placements. 0 keeps every member on proto's nodes.
+  int src_step = 0;
+  int dst_step = 0;
+};
+
 // Unresponsive constant-bit-rate cross-traffic stream. In dumbbell mode it
 // gets its own host pair (forward: extra S -> K across the bottleneck;
 // reverse = true: K -> S across the ACK path). In graph mode it runs
@@ -135,6 +153,12 @@ struct SpecError {
 
 const char* to_string(SpecError::Code c);
 
+// Upper bound CLI front ends accept for ScenarioSpec::shard_count. Purely
+// a sanity rail for --shards typos: the partitioner itself clamps to the
+// subgraph count, so any larger value could only waste idle worker
+// threads.
+inline constexpr int kMaxShardCount = 64;
+
 struct ScenarioSpec {
   std::string name = "scenario";
   // Dumbbell-mode topology knobs (bandwidths, delays, side buffers,
@@ -152,8 +176,18 @@ struct ScenarioSpec {
   // Graph mode: link indices whose queues the audit layer should watch.
   std::vector<int> audited_links;
   std::vector<FlowSpec> flows;
+  // Aggregate flow groups, expanded (appended to `flows`, in order) by
+  // expand_flow_sets() before validation/build.
+  std::vector<FlowSet> flow_sets;
   std::vector<CbrSpec> cross_traffic;
   InstrumentationOptions instruments = {};
+  // Engine shards for the pdes::ShardedScenario runner (graph mode only;
+  // requires every cut to have positive delay — see topo/partition.hpp).
+  // The plain Scenario runner ignores it: 1 means "today's single engine",
+  // and pdes delegates to exactly that path, byte-identically. CLI front
+  // ends (--shards) accept 1..kMaxShardCount; the partitioner clamps to
+  // the number of subgraphs the topology actually yields.
+  int shard_count = 1;
   // Seeds randomized components (RED drop RNG, ON/OFF sources); pass the
   // sweep's derived per-job seed here.
   std::uint64_t seed = 1;
@@ -188,6 +222,30 @@ struct ScenarioSpec {
   ScenarioSpec& add_cbr(CbrSpec c) {
     cross_traffic.push_back(std::move(c));
     return *this;
+  }
+  ScenarioSpec& add_flow_set(FlowSet s) {
+    flow_sets.push_back(std::move(s));
+    return *this;
+  }
+
+  // Materialize flow_sets into `flows` (appended in set order, members in
+  // index order) and clear the set list. Idempotent; called by
+  // Scenario::validate / the builders, so specs may carry sets right up to
+  // build time.
+  void expand_flow_sets() {
+    for (const FlowSet& s : flow_sets) {
+      flows.reserve(flows.size() + static_cast<std::size_t>(s.count > 0
+                                                                ? s.count
+                                                                : 0));
+      for (int i = 0; i < s.count; ++i) {
+        FlowSpec f = s.proto;
+        f.start = s.proto.start + s.stagger * i;
+        if (s.src_step != 0) f.src_node = s.proto.src_node + s.src_step * i;
+        if (s.dst_step != 0) f.dst_node = s.proto.dst_node + s.dst_step * i;
+        flows.push_back(std::move(f));
+      }
+    }
+    flow_sets.clear();
   }
 };
 

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <thread>
 
+#include "harness/scenario.hpp"
 #include "sim/assert.hpp"
 
 namespace rrtcp::harness {
@@ -38,9 +39,20 @@ void run_one_job(const SweepJob& job, std::size_t index,
 [[noreturn]] void usage_error(const char* arg) {
   std::fprintf(stderr,
                "unknown argument: %s\n"
-               "usage: <bench> [--threads=N] [--seed=S] [--csv=PATH] "
-               "[--json=PATH] [--list-variants] [--quick]\n",
+               "usage: <bench> [--threads=N] [--seed=S] [--shards=N] "
+               "[--csv=PATH] [--json=PATH] [--list-variants] [--quick]\n",
                arg);
+  std::exit(2);
+}
+
+// Out-of-range --shards gets its own message: like an unknown variant
+// printing the registry, a bad value prints the valid range.
+[[noreturn]] void shards_range_error(const char* arg) {
+  std::fprintf(stderr,
+               "invalid shard count: %s\n"
+               "valid range: --shards=1..%d (1 = single engine; graph-mode "
+               "scenarios partition, everything else delegates)\n",
+               arg, kMaxShardCount);
   std::exit(2);
 }
 
@@ -120,6 +132,11 @@ SweepCli SweepCli::parse(int argc, char** argv) {
     } else if (const char* seed = value_of("--seed=")) {
       cli.options.base_seed = std::strtoull(seed, &end, 10);
       if (end == seed || *end != '\0') usage_error(argv[i]);
+    } else if (const char* shards = value_of("--shards=")) {
+      cli.shards = static_cast<int>(std::strtol(shards, &end, 10));
+      if (end == shards || *end != '\0' || cli.shards < 1 ||
+          cli.shards > kMaxShardCount)
+        shards_range_error(argv[i]);
     } else if (const char* csv = value_of("--csv=")) {
       cli.csv_path = csv;
     } else if (const char* json = value_of("--json=")) {

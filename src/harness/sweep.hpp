@@ -75,18 +75,24 @@ SweepTiming run_sweep(const std::vector<SweepJob>& jobs, ResultSink& sink,
 // Command-line front end shared by the bench binaries:
 //   --threads=N       worker threads (default: env/hardware as above)
 //   --seed=S          base seed for per-job seed derivation (default 1)
+//   --shards=N        engine shards per scenario, 1..kMaxShardCount
+//                     (pdes::ShardedScenario; dumbbell-mode and
+//                     unpartitionable specs delegate to the single
+//                     engine, so 1 — the default — is always safe)
 //   --csv=PATH        write the sweep's CSV to PATH
 //   --json=PATH       write the sweep's JSON to PATH
 //   --list-variants   ask the binary to print the sender registry and exit
 //   --quick           ask the binary to run a reduced grid (perf smoke)
-// Unknown arguments abort with a usage message on stderr. The last two are
-// requests the harness itself cannot act on (it does not link the app
-// registry and does not own the grid); binaries honor them — see
-// bench/bench_common.hpp.
+// Unknown arguments abort with a usage message on stderr; an out-of-range
+// --shards prints the valid range (mirroring how an unknown variant prints
+// the registry). Like --list-variants and --quick, --shards is a request
+// the harness itself cannot act on (it does not build the specs); binaries
+// honor it by stamping ScenarioSpec::shard_count — see bench/.
 struct SweepCli {
   SweepOptions options;
   std::string csv_path;
   std::string json_path;
+  int shards = 1;
   bool list_variants = false;
   bool quick = false;
 

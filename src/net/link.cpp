@@ -43,12 +43,6 @@ void Link::try_transmit() {
   ++pkt.hops;
   const sim::Time jitter =
       reorder_ ? reorder_->delay_for_next_packet() : sim::Time::zero();
-  auto deliver = [this, pkt]() mutable {
-    ++delivered_;
-    bytes_delivered_ += pkt.size_bytes;
-    RRTCP_ASSERT_MSG(dst_ != nullptr, "link has no destination node");
-    dst_->receive(std::move(pkt));
-  };
   // The forwarding path must stay allocation-free: the rrtcp-smallfn-inline
   // check verifies at every schedule call site that the capture fits the
   // scheduler's inline buffer.
@@ -59,7 +53,27 @@ void Link::try_transmit() {
   // arriving in ascending sequence to chain a burst of deliveries behind
   // one heap entry.
   const sim::Time done = sim_.now() + tx;
-  sim_.schedule_at(done + cfg_.prop_delay + jitter, std::move(deliver));
+  if (remote_ != nullptr) {
+    // Cut link: the destination node lives in another shard. Hand off at
+    // serialization end — the propagation pipe is the lookahead window the
+    // conservative scheduler relies on, so the receiving shard sees the
+    // packet a full prop_delay before its arrival instant.
+    const sim::Time arrival = done + cfg_.prop_delay + jitter;
+    auto hand_off = [this, pkt, arrival]() mutable {
+      ++delivered_;
+      bytes_delivered_ += pkt.size_bytes;
+      remote_->push(arrival, std::move(pkt));
+    };
+    sim_.schedule_at(done, std::move(hand_off));
+  } else {
+    auto deliver = [this, pkt]() mutable {
+      ++delivered_;
+      bytes_delivered_ += pkt.size_bytes;
+      RRTCP_ASSERT_MSG(dst_ != nullptr, "link has no destination node");
+      dst_->receive(std::move(pkt));
+    };
+    sim_.schedule_at(done + cfg_.prop_delay + jitter, std::move(deliver));
+  }
   auto release = [this] {
     busy_ = false;
     try_transmit();

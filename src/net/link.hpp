@@ -25,6 +25,19 @@
 
 namespace rrtcp::net {
 
+// Cross-engine delivery target for a link whose destination node lives in
+// another simulation shard. When installed, the link hands the packet off
+// at serialization end (the earliest instant the sending engine knows the
+// full arrival schedule), stamped with the absolute arrival time
+// (serialization end + propagation + reorder jitter), instead of calling
+// dst()->receive() locally. push() runs on the sending shard's thread; the
+// receiving shard drains it only at synchronization barriers.
+class RemoteSink {
+ public:
+  virtual ~RemoteSink() = default;
+  virtual void push(sim::Time arrival, Packet p) = 0;
+};
+
 struct LinkConfig {
   std::int64_t bandwidth_bps = 10'000'000;
   sim::Time prop_delay = sim::Time::milliseconds(1);
@@ -40,6 +53,11 @@ class Link final : public PacketHandler {
   // Wiring (done once by the topology builder).
   void set_dst(Node* dst) { dst_ = dst; }
   Node* dst() const { return dst_; }
+
+  // Route deliveries to another shard instead of dst(). Set once by the
+  // sharded engine's builder; mutually exclusive with local delivery.
+  void set_remote_sink(RemoteSink* sink) { remote_ = sink; }
+  RemoteSink* remote_sink() const { return remote_; }
 
   // Install/replace the ingress loss model (may be null).
   void set_loss_model(std::unique_ptr<LossModel> model) {
@@ -83,6 +101,7 @@ class Link final : public PacketHandler {
   std::unique_ptr<LossModel> loss_;
   std::unique_ptr<ReorderModel> reorder_;
   Node* dst_ = nullptr;
+  RemoteSink* remote_ = nullptr;
 
   bool busy_ = false;
   std::uint64_t delivered_ = 0;

@@ -535,4 +535,20 @@ std::uint64_t Simulator::run_until(Time deadline) {
   return n;
 }
 
+std::uint64_t Simulator::run_before(Time deadline) {
+  stopped_ = false;
+  const std::int64_t limit = deadline.ps();
+  std::uint64_t n = 0;
+  while (!stopped_ && settle_ready(limit)) {
+    // Exclusive bound: an event at exactly `deadline` belongs to the next
+    // window. settle_ready may have flushed it from the wheel into the
+    // heap already; leaving it there is harmless.
+    if (heap_[0].at >= deadline) break;
+    fire_next();
+    ++n;
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+  return n;
+}
+
 }  // namespace rrtcp::sim

@@ -176,6 +176,13 @@ class Simulator {
   // `deadline` are executed), the queue drains, or stop() is called.
   RRTCP_HOT std::uint64_t run_until(Time deadline);
 
+  // Run events strictly before `deadline` (events at exactly `deadline`
+  // stay pending), then advance the clock to `deadline`. This is the
+  // half-open window primitive for conservative sharded execution: a
+  // round covering [T_k, T_{k+1}) must leave events stamped T_{k+1} for
+  // the next round, after cross-shard arrivals for T_{k+1} have merged.
+  RRTCP_HOT std::uint64_t run_before(Time deadline);
+
   // Execute at most one pending event. Returns false if the queue is empty.
   RRTCP_HOT bool step();
 

@@ -1,9 +1,8 @@
 #include "topo/graph.hpp"
 
-#include <queue>
-
 #include "net/drop_tail.hpp"
 #include "sim/assert.hpp"
+#include "topo/partition.hpp"
 
 namespace rrtcp::topo {
 
@@ -73,60 +72,10 @@ TopologyGraph::TopologyGraph(sim::Simulator& sim, GraphSpec spec)
 
 void TopologyGraph::compute_routes() {
   const int n = n_nodes();
-  table_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), -1);
-
-  // Outgoing adjacency, in link-index order (the deterministic tie-break:
-  // among equal-hop choices the lowest link index wins).
-  std::vector<std::vector<int>> out(static_cast<std::size_t>(n));
-  for (int li = 0; li < n_links(); ++li)
-    out[static_cast<std::size_t>(spec_.links[static_cast<std::size_t>(li)].from)]
-        .push_back(li);
-
-  // One reverse BFS per destination gives hop counts; each node then picks
-  // its lowest-indexed outgoing link that makes progress.
-  std::vector<int> dist(static_cast<std::size_t>(n));
-  for (int dst = 0; dst < n; ++dst) {
-    std::fill(dist.begin(), dist.end(), -1);
-    dist[static_cast<std::size_t>(dst)] = 0;
-    std::queue<int> bfs;
-    bfs.push(dst);
-    while (!bfs.empty()) {
-      const int v = bfs.front();
-      bfs.pop();
-      // Relax over links ENTERING v: their tail is one hop further out.
-      for (int li = 0; li < n_links(); ++li) {
-        const LinkSpec& ls = spec_.links[static_cast<std::size_t>(li)];
-        if (ls.to != v) continue;
-        if (dist[static_cast<std::size_t>(ls.from)] != -1) continue;
-        dist[static_cast<std::size_t>(ls.from)] =
-            dist[static_cast<std::size_t>(v)] + 1;
-        bfs.push(ls.from);
-      }
-    }
-    for (int at = 0; at < n; ++at) {
-      if (at == dst || dist[static_cast<std::size_t>(at)] == -1) continue;
-      for (int li : out[static_cast<std::size_t>(at)]) {
-        const LinkSpec& ls = spec_.links[static_cast<std::size_t>(li)];
-        if (dist[static_cast<std::size_t>(ls.to)] ==
-            dist[static_cast<std::size_t>(at)] - 1) {
-          table_[static_cast<std::size_t>(at) * static_cast<std::size_t>(n) +
-                 static_cast<std::size_t>(dst)] = li;
-          break;
-        }
-      }
-    }
-  }
-
-  // Explicit entries override.
-  for (const RouteSpec& r : spec_.routes) {
-    RRTCP_ASSERT(r.at >= 0 && r.at < n && r.dst >= 0 && r.dst < n);
-    RRTCP_ASSERT(r.link >= 0 && r.link < n_links());
-    RRTCP_ASSERT_MSG(
-        spec_.links[static_cast<std::size_t>(r.link)].from == r.at,
-        "route entry names a link that does not leave its node");
-    table_[static_cast<std::size_t>(r.at) * static_cast<std::size_t>(n) +
-           static_cast<std::size_t>(r.dst)] = r.link;
-  }
+  // Shared with the sharded engine (topo/partition.hpp): both compute
+  // next-hops on the full spec, so forwarding is identical at every shard
+  // count.
+  table_ = compute_route_table(spec_);
 
   // Install on the nodes.
   for (int at = 0; at < n; ++at) {
